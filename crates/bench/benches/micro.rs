@@ -1,0 +1,150 @@
+//! Criterion microbenches for the simulator's components: the costs the
+//! paper's design arguments hinge on (tagless vs SRAM-tag access path,
+//! DRAM controller throughput, TLB/walker, replacement machinery, trace
+//! generation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tdc_dram::{AccessKind, DramConfig, DramController};
+use tdc_dram_cache::{
+    L3System, SramTagCache, SystemParams, TaglessCache, VictimPolicy,
+};
+use tdc_sram_cache::{CacheGeometry, Replacement, SetAssocCache};
+use tdc_trace::{profiles, SyntheticWorkload, TraceSource};
+use tdc_util::{Pcg32, Rng, Vpn, Zipf};
+
+fn small_params() -> SystemParams {
+    let mut p = SystemParams::with_cache_capacity(64 << 20);
+    p.cores = 1;
+    p.core_asid = vec![0];
+    p
+}
+
+fn bench_dram_controller(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_controller");
+    g.bench_function("block_read_row_hits", |b| {
+        let mut m = DramController::new(DramConfig::in_package_1gb());
+        let mut now = 0u64;
+        let mut addr = 0u64;
+        b.iter(|| {
+            let r = m.access(now, addr % (1 << 28), AccessKind::Read, 64);
+            now = r.first_data;
+            addr += 64;
+            black_box(r.first_data)
+        });
+    });
+    g.bench_function("block_read_random", |b| {
+        let mut m = DramController::new(DramConfig::off_package_8gb());
+        let mut rng = Pcg32::seed_from_u64(1);
+        let mut now = 0u64;
+        b.iter(|| {
+            let r = m.access(now, rng.gen_range(1 << 33), AccessKind::Read, 64);
+            now = r.first_data;
+            black_box(r.first_data)
+        });
+    });
+    g.bench_function("page_fill_4kb", |b| {
+        let mut m = DramController::new(DramConfig::off_package_8gb());
+        let mut rng = Pcg32::seed_from_u64(2);
+        let mut now = 0u64;
+        b.iter(|| {
+            let r = m.access(now, rng.gen_range(1 << 33) & !4095, AccessKind::Read, 4096);
+            now = r.first_data;
+            black_box(r.done)
+        });
+    });
+    g.finish();
+}
+
+fn bench_access_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("access_path");
+    // The headline comparison: cost of one translate+access on the
+    // tagless path vs the SRAM-tag path, warm state.
+    g.bench_function("tagless_warm_hit", |b| {
+        let p = small_params();
+        let mut l3 = TaglessCache::new(&p, VictimPolicy::Fifo);
+        for v in 0..16u64 {
+            l3.translate(v * 10_000, 0, Vpn(v), false);
+        }
+        let mut now = 1_000_000u64;
+        let mut v = 0u64;
+        b.iter(|| {
+            let tr = l3.translate(now, 0, Vpn(v % 16), false);
+            let m = l3.access(now + tr.penalty, 0, tr.frame, tr.nc, v % 64);
+            now += 200;
+            v += 1;
+            black_box(m.latency)
+        });
+    });
+    g.bench_function("sram_tag_warm_hit", |b| {
+        let p = small_params();
+        let mut l3 = SramTagCache::new(&p);
+        for v in 0..16u64 {
+            let tr = l3.translate(v * 10_000, 0, Vpn(v), false);
+            l3.access(v * 10_000 + tr.penalty, 0, tr.frame, tr.nc, 0);
+        }
+        let mut now = 1_000_000u64;
+        let mut v = 0u64;
+        b.iter(|| {
+            let tr = l3.translate(now, 0, Vpn(v % 16), false);
+            let m = l3.access(now + tr.penalty, 0, tr.frame, tr.nc, v % 64);
+            now += 200;
+            v += 1;
+            black_box(m.latency)
+        });
+    });
+    g.bench_function("tagless_cold_fill", |b| {
+        let p = small_params();
+        let mut l3 = TaglessCache::new(&p, VictimPolicy::Fifo);
+        let mut now = 0u64;
+        let mut v = 0u64;
+        b.iter(|| {
+            let tr = l3.translate(now, 0, Vpn(v), false);
+            now += tr.penalty + 100;
+            v += 1;
+            black_box(tr.penalty)
+        });
+    });
+    g.finish();
+}
+
+fn bench_sram_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("set_assoc_cache");
+    for (name, repl) in [("lru", Replacement::Lru), ("fifo", Replacement::Fifo)] {
+        g.bench_function(name, |b| {
+            let geom = CacheGeometry::new(2 << 20, 64, 16).expect("valid");
+            let mut cache = SetAssocCache::new(geom, repl);
+            let mut rng = Pcg32::seed_from_u64(3);
+            b.iter(|| {
+                let r = cache.access(rng.gen_range(16 << 20), false);
+                black_box(r.hit)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_gen");
+    for bench in ["mcf", "libquantum"] {
+        g.bench_function(bench, |b| {
+            let mut w =
+                SyntheticWorkload::new(profiles::spec(bench).expect("known").clone(), 7, 0);
+            b.iter(|| black_box(w.next_ref()));
+        });
+    }
+    g.bench_function("zipf_sample", |b| {
+        let z = Zipf::new(1 << 20, 0.95).expect("valid");
+        let mut rng = Pcg32::seed_from_u64(5);
+        b.iter(|| black_box(z.sample(&mut rng)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dram_controller,
+    bench_access_paths,
+    bench_sram_cache,
+    bench_trace_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Evaluates the paper's AMAT model (Equations 1-5) analytically and
+//! against measured latencies.
+fn main() {
+    tdc_bench::amat_table(&tdc_bench::standard_config());
+}

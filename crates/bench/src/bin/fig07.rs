@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 07.
+fn main() {
+    tdc_bench::fig07(&tdc_bench::standard_config());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 08.
+fn main() {
+    tdc_bench::fig08(&tdc_bench::standard_config());
+}

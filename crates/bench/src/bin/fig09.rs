@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 09.
+fn main() {
+    tdc_bench::fig09(&tdc_bench::standard_config());
+}

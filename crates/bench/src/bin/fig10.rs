@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 10.
+fn main() {
+    tdc_bench::fig10(&tdc_bench::standard_config());
+}

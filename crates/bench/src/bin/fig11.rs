@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 11.
+fn main() {
+    tdc_bench::fig11(&tdc_bench::standard_config());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 12.
+fn main() {
+    tdc_bench::fig12(&tdc_bench::standard_config());
+}

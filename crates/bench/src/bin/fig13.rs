@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 13.
+fn main() {
+    tdc_bench::fig13(&tdc_bench::standard_config());
+}

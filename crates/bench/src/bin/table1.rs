@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 1 (access-case accounting).
+fn main() {
+    tdc_bench::table1(&tdc_bench::standard_config());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 6 (SRAM tag array model).
+fn main() {
+    tdc_bench::table6();
+}

@@ -1,0 +1,154 @@
+//! The paper's analytic average-memory-access-time model
+//! (Equations 1–5).
+//!
+//! These closed forms let the simulated latencies be cross-checked
+//! against the paper's own arithmetic, and they make the source of the
+//! tagless advantage explicit: Equation 3 puts `AccessTime_SRAM-tag` on
+//! the critical path of *every* L3 access, while Equation 4 has no tag
+//! term at all — the cTLB returns the cache address directly.
+
+/// Inputs to the AMAT equations, all in CPU cycles (rates are
+/// fractions in `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmatInputs {
+    /// TLB miss rate (per memory reference).
+    pub miss_rate_tlb: f64,
+    /// Conventional TLB miss penalty (page walk).
+    pub miss_penalty_tlb: f64,
+    /// Combined L1/L2 hit time.
+    pub hit_time_l12: f64,
+    /// L1/L2 combined miss rate (fraction of references reaching L3).
+    pub miss_rate_l12: f64,
+    /// SRAM tag array access time (Table 6).
+    pub access_time_sram_tag: f64,
+    /// In-package 64B block access time.
+    pub block_access_in_pkg: f64,
+    /// L3 (DRAM cache) miss rate.
+    pub miss_rate_l3: f64,
+    /// Off-package page fetch time (fill).
+    pub page_access_off_pkg: f64,
+    /// Fraction of cTLB misses that miss the cache too (not victim
+    /// hits).
+    pub miss_rate_victim: f64,
+    /// GIPT update time.
+    pub access_time_gipt: f64,
+}
+
+impl AmatInputs {
+    /// Representative values for the paper's 1GB configuration, derived
+    /// from Tables 3/4/6: 11-cycle tags, ~58-cycle in-package block
+    /// access, ~1000-cycle off-package page fetch, ~100-cycle walk.
+    pub fn paper_representative() -> Self {
+        Self {
+            miss_rate_tlb: 0.01,
+            miss_penalty_tlb: 100.0,
+            hit_time_l12: 6.0,
+            miss_rate_l12: 0.3,
+            access_time_sram_tag: 11.0,
+            block_access_in_pkg: 58.0,
+            miss_rate_l3: 0.05,
+            page_access_off_pkg: 1000.0,
+            miss_rate_victim: 0.5,
+            access_time_gipt: 60.0,
+        }
+    }
+}
+
+/// The analytic model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AmatModel;
+
+impl AmatModel {
+    /// Equation 3: average L3 latency of the SRAM-tag cache — the tag
+    /// probe is paid on every access, hit or miss.
+    pub fn avg_l3_latency_sram_tag(i: &AmatInputs) -> f64 {
+        i.access_time_sram_tag + i.block_access_in_pkg + i.miss_rate_l3 * i.page_access_off_pkg
+    }
+
+    /// Equation 2: AMAT seen by a reference that hits the TLB
+    /// (SRAM-tag organization).
+    pub fn amat_tlb_hit_sram_tag(i: &AmatInputs) -> f64 {
+        i.hit_time_l12 + i.miss_rate_l12 * Self::avg_l3_latency_sram_tag(i)
+    }
+
+    /// Equation 1: full AMAT of the SRAM-tag organization.
+    pub fn amat_sram_tag(i: &AmatInputs) -> f64 {
+        i.miss_rate_tlb * i.miss_penalty_tlb + Self::amat_tlb_hit_sram_tag(i)
+    }
+
+    /// Equation 5: cTLB miss penalty — the conventional walk plus, for
+    /// the fraction that also misses the cache, the GIPT update and the
+    /// off-package page fetch.
+    pub fn miss_penalty_ctlb(i: &AmatInputs) -> f64 {
+        i.miss_penalty_tlb + i.miss_rate_victim * (i.access_time_gipt + i.page_access_off_pkg)
+    }
+
+    /// Equation 4: full AMAT of the tagless organization. A TLB hit
+    /// guarantees a cache hit, so below L1/L2 only the in-package block
+    /// access remains — no tag term, no L3 miss term.
+    pub fn amat_tagless(i: &AmatInputs) -> f64 {
+        i.miss_rate_tlb * Self::miss_penalty_ctlb(i)
+            + i.hit_time_l12
+            + i.miss_rate_l12 * i.block_access_in_pkg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tagless_wins_at_representative_point() {
+        let i = AmatInputs::paper_representative();
+        let sram = AmatModel::amat_sram_tag(&i);
+        let tagless = AmatModel::amat_tagless(&i);
+        assert!(
+            tagless < sram,
+            "tagless {tagless:.2} must beat SRAM-tag {sram:.2}"
+        );
+    }
+
+    #[test]
+    fn tag_latency_is_the_entire_l3_gap_when_miss_free() {
+        // With a perfect L3 (no misses) and equal TLB behaviour, the
+        // only difference left is the tag probe.
+        let mut i = AmatInputs::paper_representative();
+        i.miss_rate_l3 = 0.0;
+        i.miss_rate_tlb = 0.0;
+        let gap = AmatModel::amat_sram_tag(&i) - AmatModel::amat_tagless(&i);
+        assert!((gap - i.miss_rate_l12 * i.access_time_sram_tag).abs() < 1e-12);
+    }
+
+    #[test]
+    fn victim_hits_reduce_ctlb_penalty() {
+        let mut i = AmatInputs::paper_representative();
+        i.miss_rate_victim = 1.0;
+        let all_miss = AmatModel::miss_penalty_ctlb(&i);
+        i.miss_rate_victim = 0.0;
+        let all_victim_hit = AmatModel::miss_penalty_ctlb(&i);
+        assert!((all_victim_hit - i.miss_penalty_tlb).abs() < 1e-12);
+        assert!(all_miss > all_victim_hit);
+    }
+
+    #[test]
+    fn higher_l3_miss_rate_hurts_sram_tag_only() {
+        let mut i = AmatInputs::paper_representative();
+        let t0 = AmatModel::amat_tagless(&i);
+        let s0 = AmatModel::amat_sram_tag(&i);
+        i.miss_rate_l3 = 0.5;
+        assert_eq!(AmatModel::amat_tagless(&i), t0, "Eq 4 has no L3 miss term");
+        assert!(AmatModel::amat_sram_tag(&i) > s0);
+    }
+
+    #[test]
+    fn equation_1_decomposes() {
+        let i = AmatInputs::paper_representative();
+        let manual = i.miss_rate_tlb * i.miss_penalty_tlb
+            + i.hit_time_l12
+            + i.miss_rate_l12
+                * (i.access_time_sram_tag
+                    + i.block_access_in_pkg
+                    + i.miss_rate_l3 * i.page_access_off_pkg);
+        assert!((AmatModel::amat_sram_tag(&i) - manual).abs() < 1e-12);
+    }
+}

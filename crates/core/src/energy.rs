@@ -1,0 +1,137 @@
+//! Energy and EDP accounting (McPAT substitute).
+//!
+//! The paper extracts core and on-die cache power from McPAT and DRAM
+//! energy from a CACTI-3DD-derived model. DRAM and SRAM-tag energies are
+//! modeled in detail by `tdc-dram` / `tdc-sram-cache`; this module adds
+//! representative constants for the cores and on-die caches and
+//! assembles everything into a total-energy and energy-delay-product
+//! report. The constants shift absolute EDP, not who wins: the paper's
+//! EDP ordering is driven by runtime differences plus the DRAM/tag
+//! energy deltas, which are modeled directly.
+
+use tdc_dram::CPU_GHZ;
+use tdc_util::Cycle;
+
+/// Energy model constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Average power of one active out-of-order core (W).
+    pub core_power_w: f64,
+    /// Energy per L1 access (pJ).
+    pub l1_access_pj: f64,
+    /// Energy per L2 access (pJ).
+    pub l2_access_pj: f64,
+}
+
+impl EnergyModel {
+    /// Representative 3 GHz OoO core constants (McPAT-class values).
+    pub fn paper_default() -> Self {
+        Self {
+            core_power_w: 4.0,
+            l1_access_pj: 50.0,
+            l2_access_pj: 400.0,
+        }
+    }
+
+    /// Assembles the energy report for a run.
+    ///
+    /// * `active_cores` — cores actually executing a trace;
+    /// * `makespan_cycles` — measured-phase wall-clock in CPU cycles;
+    /// * `l1_accesses` / `l2_accesses` — on-die cache activity;
+    /// * `l3_energy_pj` — DRAM devices + tag probes (from the L3);
+    /// * `extra_static_mw` — additional leakage (e.g. the SRAM tag
+    ///   array's), charged for the whole makespan.
+    pub fn report(
+        &self,
+        active_cores: usize,
+        makespan_cycles: Cycle,
+        l1_accesses: u64,
+        l2_accesses: u64,
+        l3_energy_pj: f64,
+        extra_static_mw: f64,
+    ) -> EnergyReport {
+        let seconds = makespan_cycles as f64 / (CPU_GHZ * 1e9);
+        let core_j = self.core_power_w * active_cores as f64 * seconds;
+        let sram_j =
+            (l1_accesses as f64 * self.l1_access_pj + l2_accesses as f64 * self.l2_access_pj)
+                * 1e-12;
+        let dram_j = l3_energy_pj * 1e-12;
+        let static_j = extra_static_mw * 1e-3 * seconds;
+        let total_j = core_j + sram_j + dram_j + static_j;
+        EnergyReport {
+            seconds,
+            core_j,
+            sram_j,
+            dram_j,
+            static_j,
+            total_j,
+            edp: total_j * seconds,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Energy breakdown of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Measured-phase runtime in seconds.
+    pub seconds: f64,
+    /// Core energy (J).
+    pub core_j: f64,
+    /// On-die L1/L2 access energy (J).
+    pub sram_j: f64,
+    /// DRAM devices + tag-probe energy (J).
+    pub dram_j: f64,
+    /// Extra static energy (e.g. tag array leakage) (J).
+    pub static_j: f64,
+    /// Total energy (J).
+    pub total_j: f64,
+    /// Energy-delay product (J·s).
+    pub edp: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_sums_components() {
+        let m = EnergyModel::paper_default();
+        let r = m.report(4, 3_000_000_000, 1_000_000, 100_000, 1e9, 80.0);
+        assert!((r.seconds - 1.0).abs() < 1e-9);
+        assert!((r.core_j - 16.0).abs() < 1e-9);
+        assert!(
+            (r.total_j - (r.core_j + r.sram_j + r.dram_j + r.static_j)).abs() < 1e-12
+        );
+        assert!((r.edp - r.total_j * r.seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_run_has_lower_core_energy_and_edp() {
+        let m = EnergyModel::paper_default();
+        let slow = m.report(1, 2_000_000, 1000, 100, 1e6, 0.0);
+        let fast = m.report(1, 1_000_000, 1000, 100, 1e6, 0.0);
+        assert!(fast.core_j < slow.core_j);
+        assert!(fast.edp < slow.edp);
+    }
+
+    #[test]
+    fn dram_energy_passthrough() {
+        let m = EnergyModel::paper_default();
+        let r = m.report(1, 3_000, 0, 0, 5e12, 0.0);
+        assert!((r.dram_j - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_run_is_zero_energy() {
+        let m = EnergyModel::paper_default();
+        let r = m.report(4, 0, 0, 0, 0.0, 100.0);
+        assert_eq!(r.total_j, 0.0);
+        assert_eq!(r.edp, 0.0);
+    }
+}

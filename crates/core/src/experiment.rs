@@ -1,0 +1,393 @@
+//! One-call experiment runners for every workload class in the paper.
+
+use crate::energy::EnergyModel;
+use crate::metrics::RunReport;
+use crate::system::System;
+use tdc_dram_cache::{
+    BankInterleave, Ideal, L3System, NoL3, SramTagCache, SystemParams, TaglessCache, VictimPolicy,
+};
+use tdc_sram_cache::TagArrayModel;
+use tdc_util::PAGE_SIZE;
+use tdc_trace::{page_access_counts, profiles, ParsecTraces, SyntheticWorkload, TraceSource, WorkloadProfile};
+
+/// Global capacity/footprint scale of the experiments.
+///
+/// The paper's testbed simulates 100M-instruction Simpoint slices
+/// against a 1GB cache that was warmed over the preceding execution.
+/// Running a freshly-built simulator to the same steady state at full
+/// scale would require billions of references per data point, so every
+/// experiment divides *all* capacities (DRAM cache, off-package memory)
+/// and *all* workload footprints by this factor. Ratios — footprint vs.
+/// cache size, cache vs. off-package capacity (the BI stride), reuse
+/// distances vs. capacity — are preserved, which is what determines the
+/// shape of every figure. The SRAM tag-array latency (Table 6) is taken
+/// from the *nominal* capacity so the tag-overhead comparison remains at
+/// paper scale. Documented in DESIGN.md §2.
+pub const CAPACITY_SCALE: u64 = 8;
+
+/// The organizations evaluated in the paper (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrgKind {
+    /// Conventional memory system, no DRAM cache (baseline).
+    NoL3,
+    /// Heterogeneity-oblivious bank interleaving.
+    BankInterleave,
+    /// 16-way SRAM-tag page cache.
+    SramTag,
+    /// The tagless cTLB cache, FIFO replacement (default).
+    Tagless,
+    /// The tagless cache with LRU replacement (Fig. 11).
+    TaglessLru,
+    /// All data in-package (upper bound).
+    Ideal,
+}
+
+impl OrgKind {
+    /// The comparison set of Figs. 7/9/12 (everything but the LRU
+    /// variant), baseline first.
+    pub const MAIN: [OrgKind; 5] = [
+        OrgKind::NoL3,
+        OrgKind::BankInterleave,
+        OrgKind::SramTag,
+        OrgKind::Tagless,
+        OrgKind::Ideal,
+    ];
+
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OrgKind::NoL3 => "No L3",
+            OrgKind::BankInterleave => "BI",
+            OrgKind::SramTag => "SRAM",
+            OrgKind::Tagless => "cTLB",
+            OrgKind::TaglessLru => "cTLB-LRU",
+            OrgKind::Ideal => "Ideal",
+        }
+    }
+
+    /// Builds the organization for the given system parameters.
+    pub fn build(&self, params: &SystemParams) -> Box<dyn L3System> {
+        match self {
+            OrgKind::NoL3 => Box::new(NoL3::new(params)),
+            OrgKind::BankInterleave => Box::new(BankInterleave::new(params)),
+            OrgKind::SramTag => Box::new(SramTagCache::new(params)),
+            OrgKind::Tagless => Box::new(TaglessCache::new(params, VictimPolicy::Fifo)),
+            OrgKind::TaglessLru => Box::new(TaglessCache::new(params, VictimPolicy::Lru)),
+            OrgKind::Ideal => Box::new(Ideal::new(params)),
+        }
+    }
+}
+
+/// Run-length and configuration knobs shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Master seed; every generator stream derives from it.
+    pub seed: u64,
+    /// DRAM cache capacity in bytes (1GB default; Fig. 10 sweeps it).
+    pub cache_bytes: u64,
+    /// Per-core warmup references (excluded from statistics).
+    pub warmup_refs: u64,
+    /// Per-core measured references.
+    pub measured_refs: u64,
+}
+
+impl RunConfig {
+    /// Fast smoke configuration (CI-friendly).
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            seed,
+            cache_bytes: 1 << 30,
+            warmup_refs: 50_000,
+            measured_refs: 150_000,
+        }
+    }
+
+    /// Full configuration used to regenerate the paper's figures.
+    pub fn full(seed: u64) -> Self {
+        Self {
+            seed,
+            cache_bytes: 1 << 30,
+            warmup_refs: 800_000,
+            measured_refs: 1_600_000,
+        }
+    }
+
+    /// `full()` scaled by the `TDC_SCALE` environment variable (a float;
+    /// e.g. `TDC_SCALE=0.1` for a fast pass) — the knob the bench
+    /// harnesses use.
+    pub fn from_env(seed: u64) -> Self {
+        let mut cfg = Self::full(seed);
+        if let Ok(s) = std::env::var("TDC_SCALE") {
+            if let Ok(f) = s.parse::<f64>() {
+                if f > 0.0 {
+                    cfg.warmup_refs = ((cfg.warmup_refs as f64 * f) as u64).max(1_000);
+                    cfg.measured_refs = ((cfg.measured_refs as f64 * f) as u64).max(2_000);
+                }
+            }
+        }
+        cfg
+    }
+
+    /// The same configuration with a different cache size.
+    pub fn with_cache_bytes(mut self, bytes: u64) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    fn params(&self, cores: usize, core_asid: Vec<u32>) -> SystemParams {
+        let actual = (self.cache_bytes / CAPACITY_SCALE).max(64 * PAGE_SIZE);
+        let mut p = SystemParams::with_cache_capacity(actual);
+        p.tag_nominal_bytes = self.cache_bytes;
+        p.off_pkg.capacity_bytes /= CAPACITY_SCALE;
+        p.cores = cores;
+        p.core_asid = core_asid;
+        p
+    }
+}
+
+/// A profile with its footprint scaled by [`CAPACITY_SCALE`].
+fn scaled(profile: &WorkloadProfile) -> WorkloadProfile {
+    let mut p = profile.clone();
+    p.footprint_pages = (p.footprint_pages / CAPACITY_SCALE).max(64);
+    p
+}
+
+fn finish(
+    org: &dyn L3System,
+    name: &str,
+    workload: &str,
+    cores: Vec<crate::system::CoreResult>,
+    cache_bytes: u64,
+    is_sram: bool,
+) -> RunReport {
+    let l1_accesses: u64 = cores.iter().map(|c| c.refs).sum();
+    let l2_accesses: u64 = cores.iter().map(|c| c.l1_misses).sum();
+    let makespan = cores.iter().map(|c| c.cycles).max().unwrap_or(0);
+    let leak = if is_sram {
+        TagArrayModel::new(cache_bytes).leakage_mw()
+    } else {
+        0.0
+    };
+    let energy = EnergyModel::paper_default().report(
+        cores.len(),
+        makespan,
+        l1_accesses,
+        l2_accesses,
+        org.energy_pj(),
+        leak,
+    );
+    RunReport {
+        org: name.to_string(),
+        workload: workload.to_string(),
+        cores,
+        l3: org.stats().clone(),
+        in_pkg: org.in_pkg_stats().copied(),
+        off_pkg: *org.off_pkg_stats(),
+        energy,
+    }
+}
+
+fn run_system(
+    mut sys: System,
+    workload: &str,
+    cfg: &RunConfig,
+    is_sram: bool,
+) -> RunReport {
+    let cores = sys.run(cfg.warmup_refs, cfg.measured_refs);
+    let name = sys.l3().name().to_string();
+    finish(sys.l3(), &name, workload, cores, cfg.cache_bytes, is_sram)
+}
+
+/// Runs one single-programmed SPEC benchmark on one core (Figs. 7/8).
+///
+/// Returns `None` for an unknown benchmark name.
+pub fn run_single(bench: &str, org: OrgKind, cfg: &RunConfig) -> Option<RunReport> {
+    let profile = scaled(profiles::spec(bench)?);
+    let params = cfg.params(1, vec![0]);
+    let trace: Box<dyn TraceSource> =
+        Box::new(SyntheticWorkload::new(profile.clone(), cfg.seed, 0));
+    let sys = System::new(org.build(&params), vec![trace]);
+    Some(run_system(sys, profile.name, cfg, org == OrgKind::SramTag))
+}
+
+/// Runs one Table 5 multi-programmed mix on four cores with private
+/// address spaces (Figs. 9/10/11).
+///
+/// Returns `None` for an unknown mix name.
+pub fn run_mix(mix_name: &str, org: OrgKind, cfg: &RunConfig) -> Option<RunReport> {
+    let four = profiles::mix(mix_name)?;
+    let params = cfg.params(4, vec![0, 1, 2, 3]);
+    let traces: Vec<Box<dyn TraceSource>> = four
+        .iter()
+        .enumerate()
+        .map(|(i, p)| -> Box<dyn TraceSource> {
+            Box::new(SyntheticWorkload::new(
+                scaled(p),
+                cfg.seed ^ ((i as u64 + 1) << 48),
+                0,
+            ))
+        })
+        .collect();
+    let sys = System::new(org.build(&params), traces);
+    Some(run_system(
+        sys,
+        &mix_name.to_uppercase(),
+        cfg,
+        org == OrgKind::SramTag,
+    ))
+}
+
+/// Runs one PARSEC benchmark with four threads sharing an address space
+/// (Fig. 12).
+///
+/// Returns `None` for an unknown benchmark name.
+pub fn run_parsec(bench: &str, org: OrgKind, cfg: &RunConfig) -> Option<RunReport> {
+    let parsec = ParsecTraces::with_profile(scaled(profiles::parsec(bench)?), cfg.seed);
+    let params = cfg.params(4, vec![0; 4]);
+    let traces: Vec<Box<dyn TraceSource>> = (0..parsec.threads())
+        .map(|t| -> Box<dyn TraceSource> { Box::new(parsec.thread(t)) })
+        .collect();
+    let sys = System::new(org.build(&params), traces);
+    Some(run_system(
+        sys,
+        parsec.profile().name,
+        cfg,
+        org == OrgKind::SramTag,
+    ))
+}
+
+/// Runs a single-programmed benchmark on the tagless cache with the
+/// §5.4 non-cacheable optimization: an offline profiling pass marks
+/// every page with fewer than `threshold` accesses as non-cacheable.
+///
+/// Returns `None` for an unknown benchmark name.
+pub fn run_single_tagless_nc(bench: &str, cfg: &RunConfig, threshold: u64) -> Option<RunReport> {
+    let profile = scaled(profiles::spec(bench)?);
+    let params = cfg.params(1, vec![0]);
+    let mut l3 = TaglessCache::new(&params, VictimPolicy::Fifo);
+
+    // Offline profiling pass over the exact trace the run will see.
+    let profiling = SyntheticWorkload::new(profile.clone(), cfg.seed, 0);
+    let counts = page_access_counts(profiling, cfg.warmup_refs + cfg.measured_refs);
+    let mut flagged = 0u64;
+    for (vpn, n) in &counts {
+        if *n < threshold {
+            l3.set_non_cacheable(0, *vpn);
+            flagged += 1;
+        }
+    }
+    let _ = flagged;
+
+    let trace: Box<dyn TraceSource> =
+        Box::new(SyntheticWorkload::new(profile.clone(), cfg.seed, 0));
+    let sys = System::new(Box::new(l3), vec![trace]);
+    let mut report = run_system(sys, profile.name, cfg, false);
+    report.org = "cTLB+NC".to_string();
+    Some(report)
+}
+
+/// Runs one single-programmed benchmark on a custom-built organization
+/// (ablation studies: α sweeps, TLB-reach sweeps, GIPT-cost knobs,
+/// online fill filters). The builder receives the standard parameters
+/// for this configuration and may adjust them.
+///
+/// Returns `None` for an unknown benchmark name.
+pub fn run_single_custom(
+    bench: &str,
+    cfg: &RunConfig,
+    build: impl FnOnce(SystemParams) -> Box<dyn L3System>,
+) -> Option<RunReport> {
+    let profile = scaled(profiles::spec(bench)?);
+    let params = cfg.params(1, vec![0]);
+    let l3 = build(params);
+    let trace: Box<dyn TraceSource> =
+        Box::new(SyntheticWorkload::new(profile.clone(), cfg.seed, 0));
+    let sys = System::new(l3, vec![trace]);
+    Some(run_system(sys, profile.name, cfg, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunConfig {
+        RunConfig {
+            seed: 7,
+            cache_bytes: 64 << 20,
+            warmup_refs: 2_000,
+            measured_refs: 6_000,
+        }
+    }
+
+    #[test]
+    fn unknown_names_return_none() {
+        let cfg = tiny();
+        assert!(run_single("nosuch", OrgKind::NoL3, &cfg).is_none());
+        assert!(run_mix("MIX99", OrgKind::NoL3, &cfg).is_none());
+        assert!(run_parsec("raytrace", OrgKind::NoL3, &cfg).is_none());
+    }
+
+    #[test]
+    fn single_runs_all_orgs() {
+        let cfg = tiny();
+        for org in OrgKind::MAIN {
+            let r = run_single("omnetpp", org, &cfg).expect("known benchmark");
+            assert_eq!(r.org, org.build(&cfg.params(1, vec![0])).name());
+            assert!(r.ipc_total() > 0.0, "{} produced zero IPC", r.org);
+            assert!(r.energy.total_j > 0.0);
+        }
+    }
+
+    #[test]
+    fn mix_runs_four_cores() {
+        let cfg = tiny();
+        let r = run_mix("MIX1", OrgKind::Tagless, &cfg).expect("known mix");
+        assert_eq!(r.cores.len(), 4);
+        assert_eq!(r.workload, "MIX1");
+    }
+
+    #[test]
+    fn parsec_runs_shared_space() {
+        let cfg = tiny();
+        let r = run_parsec("streamcluster", OrgKind::Tagless, &cfg).expect("known benchmark");
+        assert_eq!(r.cores.len(), 4);
+    }
+
+    #[test]
+    fn nc_study_runs() {
+        let cfg = tiny();
+        let r = run_single_tagless_nc("GemsFDTD", &cfg, 32).expect("known benchmark");
+        assert_eq!(r.org, "cTLB+NC");
+        // Some accesses bypass the cache.
+        assert!(r.l3.case_hit_miss > 0 || r.l3.demand_reads > 0);
+    }
+
+    #[test]
+    fn custom_builder_is_honored() {
+        let cfg = tiny();
+        let r = run_single_custom("milc", &cfg, |mut p| {
+            p.alpha = 8;
+            Box::new(TaglessCache::new(&p, VictimPolicy::Lru))
+        })
+        .expect("known benchmark");
+        assert_eq!(r.org, "cTLB-LRU");
+    }
+
+    #[test]
+    fn seeds_are_reproducible() {
+        let cfg = tiny();
+        let a = run_single("milc", OrgKind::Tagless, &cfg).unwrap();
+        let b = run_single("milc", OrgKind::Tagless, &cfg).unwrap();
+        assert_eq!(a.ipc_total(), b.ipc_total());
+        assert_eq!(a.l3.demand_reads, b.l3.demand_reads);
+    }
+
+    #[test]
+    fn run_config_env_scaling() {
+        // No env var: full config.
+        let f = RunConfig::full(1);
+        let e = RunConfig::from_env(1);
+        assert!(e.measured_refs == f.measured_refs || std::env::var("TDC_SCALE").is_ok());
+        assert!(RunConfig::quick(1).measured_refs < f.measured_refs);
+    }
+}

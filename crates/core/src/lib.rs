@@ -1,0 +1,43 @@
+//! System assembly and experiment infrastructure for the tagless DRAM
+//! cache study.
+//!
+//! This crate plays the role McSimA+ plays in the paper: it puts cores,
+//! on-die caches, TLBs, and a DRAM cache organization together and runs
+//! workload traces through them.
+//!
+//! * [`core_model`] — the 4-wide core timing model with bounded
+//!   memory-level parallelism.
+//! * [`system`] — the multicore [`System`]: per-core L1D/L2 caches in
+//!   front of any [`tdc_dram_cache::L3System`], driven by trace sources
+//!   in global time order.
+//! * [`energy`] — McPAT-substitute energy accounting and EDP.
+//! * [`amat`] — the paper's analytic AMAT model (Equations 1–5).
+//! * [`experiment`] — one-call runners for every workload class the
+//!   paper evaluates (single-programmed SPEC, Table 5 mixes, PARSEC) on
+//!   every organization, producing [`RunReport`]s the bench harnesses
+//!   and examples print.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use tdc_core::experiment::{run_single, OrgKind, RunConfig};
+//!
+//! let cfg = RunConfig::quick(1);
+//! let base = run_single("omnetpp", OrgKind::NoL3, &cfg).expect("known benchmark");
+//! let tagless = run_single("omnetpp", OrgKind::Tagless, &cfg).expect("known benchmark");
+//! println!("normalized IPC: {:.3}", tagless.ipc_total() / base.ipc_total());
+//! ```
+
+pub mod amat;
+pub mod core_model;
+pub mod energy;
+pub mod experiment;
+pub mod metrics;
+pub mod system;
+
+pub use amat::{AmatInputs, AmatModel};
+pub use core_model::{CoreParams, CoreState};
+pub use energy::{EnergyModel, EnergyReport};
+pub use experiment::{run_mix, run_parsec, run_single, OrgKind, RunConfig};
+pub use metrics::RunReport;
+pub use system::System;

@@ -1,0 +1,201 @@
+//! The heterogeneity-oblivious bank-interleaving baseline (paper §4).
+//!
+//! The in-package DRAM is mapped into the physical address space next to
+//! the off-package DRAM and pages are interleaved across the combined
+//! capacity; the OS performs no intelligent placement or migration, so a
+//! fixed fraction of pages (1GB of 9GB = 1/9 at the default
+//! configuration) happens to live in the fast region.
+
+use crate::l3::{Frame, L3Stats, L3System, MemoryOutcome, SystemParams, TranslationOutcome};
+use crate::mmu::ConventionalFront;
+use tdc_dram::{AccessKind, DramController, DramStats};
+use tdc_util::{Cycle, Ppn, Vpn, PAGE_SIZE};
+
+/// Flat heterogeneous memory with page interleaving.
+pub struct BankInterleave {
+    front: ConventionalFront,
+    in_pkg: DramController,
+    off_pkg: DramController,
+    /// One page in every `stride` lands in-package.
+    stride: u64,
+    in_pkg_pages: u64,
+    stats: L3Stats,
+}
+
+impl std::fmt::Debug for BankInterleave {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BankInterleave")
+            .field("stride", &self.stride)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl BankInterleave {
+    /// Builds the baseline. The interleave stride follows from the
+    /// capacity ratio: with 1GB in-package and 8GB off-package, every
+    /// 9th page is fast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails validation.
+    pub fn new(params: &SystemParams) -> Self {
+        params.validate().expect("valid system parameters");
+        let total = params.in_pkg.capacity_bytes + params.off_pkg.capacity_bytes;
+        let stride = (total / params.in_pkg.capacity_bytes).max(2);
+        Self {
+            front: ConventionalFront::new(params.mmu, &params.core_asid),
+            in_pkg: DramController::new(params.in_pkg.clone()),
+            off_pkg: DramController::new(params.off_pkg.clone()),
+            stride,
+            in_pkg_pages: params.cache_slots(),
+            stats: L3Stats::default(),
+        }
+    }
+
+    /// The interleave stride (pages per in-package page).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    fn placement(&self, ppn: Ppn, block: u64) -> (bool, u64) {
+        if ppn.0 % self.stride == 0 {
+            let page = (ppn.0 / self.stride) % self.in_pkg_pages;
+            (true, page * PAGE_SIZE + block * 64)
+        } else {
+            (false, ppn.addr(block * 64).0)
+        }
+    }
+}
+
+impl L3System for BankInterleave {
+    fn name(&self) -> &'static str {
+        "BI"
+    }
+
+    fn translate(
+        &mut self,
+        now: Cycle,
+        core: usize,
+        vpn: Vpn,
+        _is_write: bool,
+    ) -> TranslationOutcome {
+        let t = self.front.translate(now, core, vpn, &mut self.off_pkg);
+        TranslationOutcome {
+            frame: Frame::Phys(t.ppn),
+            nc: false,
+            penalty: t.penalty,
+            tlb_hit: t.l1_hit,
+        }
+    }
+
+    fn access(
+        &mut self,
+        now: Cycle,
+        _core: usize,
+        frame: Frame,
+        _nc: bool,
+        block: u64,
+    ) -> MemoryOutcome {
+        let Frame::Phys(ppn) = frame else {
+            unreachable!("BI only issues physical frames");
+        };
+        let (in_package, addr) = self.placement(ppn, block);
+        let c = if in_package {
+            self.in_pkg.access(now, addr, AccessKind::Read, 64)
+        } else {
+            self.off_pkg.access(now, addr, AccessKind::Read, 64)
+        };
+        let latency = c.latency(now);
+        self.stats.demand_reads += 1;
+        self.stats.demand_latency_sum += latency;
+        if in_package {
+            self.stats.in_package_reads += 1;
+        }
+        MemoryOutcome {
+            latency,
+            in_package,
+        }
+    }
+
+    fn writeback(&mut self, now: Cycle, _core: usize, frame: Frame, _nc: bool, block: u64) {
+        let Frame::Phys(ppn) = frame else {
+            unreachable!("BI only issues physical frames");
+        };
+        self.stats.writebacks_in += 1;
+        let (in_package, addr) = self.placement(ppn, block);
+        if in_package {
+            self.in_pkg.access(now, addr, AccessKind::Write, 64);
+        } else {
+            self.off_pkg.access(now, addr, AccessKind::Write, 64);
+        }
+    }
+
+    fn stats(&self) -> &L3Stats {
+        &self.stats
+    }
+
+    fn energy_pj(&self) -> f64 {
+        self.in_pkg.stats().energy_pj + self.off_pkg.stats().energy_pj
+    }
+
+    fn in_pkg_stats(&self) -> Option<&DramStats> {
+        Some(self.in_pkg.stats())
+    }
+
+    fn off_pkg_stats(&self) -> &DramStats {
+        self.off_pkg.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = L3Stats::default();
+        self.in_pkg.reset_stats();
+        self.off_pkg.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_matches_capacity_ratio() {
+        let b = BankInterleave::new(&SystemParams::paper_default());
+        assert_eq!(b.stride(), 9); // 9GB total / 1GB fast
+        let small = BankInterleave::new(&SystemParams::with_cache_capacity(256 << 20));
+        assert_eq!(small.stride(), 33); // 8.25GB / 0.25GB
+    }
+
+    #[test]
+    fn one_in_stride_pages_is_fast() {
+        let mut b = BankInterleave::new(&SystemParams::paper_default());
+        let mut fast = 0;
+        for p in 0..90u64 {
+            let m = b.access(p * 10_000, 0, Frame::Phys(Ppn(p)), false, 0);
+            if m.in_package {
+                fast += 1;
+            }
+        }
+        assert_eq!(fast, 10);
+        assert!((b.stats().in_package_fraction() - 1.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_pages_have_lower_latency() {
+        let mut b = BankInterleave::new(&SystemParams::paper_default());
+        let fast = b.access(0, 0, Frame::Phys(Ppn(0)), false, 0);
+        let slow = b.access(1_000_000, 0, Frame::Phys(Ppn(1)), false, 0);
+        assert!(fast.in_package);
+        assert!(!slow.in_package);
+        assert!(fast.latency < slow.latency);
+    }
+
+    #[test]
+    fn writebacks_follow_placement() {
+        let mut b = BankInterleave::new(&SystemParams::paper_default());
+        b.writeback(0, 0, Frame::Phys(Ppn(0)), false, 0);
+        b.writeback(0, 0, Frame::Phys(Ppn(1)), false, 0);
+        assert_eq!(b.in_pkg_stats().unwrap().writes, 1);
+        assert_eq!(b.off_pkg_stats().writes, 1);
+    }
+}

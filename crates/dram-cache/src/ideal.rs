@@ -1,0 +1,147 @@
+//! The ideal in-package caching upper bound (paper §4): every access is
+//! served from in-package DRAM as if its capacity were unlimited.
+
+use crate::l3::{Frame, L3Stats, L3System, MemoryOutcome, SystemParams, TranslationOutcome};
+use crate::mmu::ConventionalFront;
+use tdc_dram::{AccessKind, DramController, DramStats};
+use tdc_util::{Cycle, Ppn, Vpn, PAGE_SIZE};
+
+/// The ideal upper-bound organization.
+pub struct Ideal {
+    front: ConventionalFront,
+    in_pkg: DramController,
+    off_pkg: DramController,
+    in_pkg_pages: u64,
+    stats: L3Stats,
+}
+
+impl std::fmt::Debug for Ideal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ideal").field("stats", &self.stats).finish()
+    }
+}
+
+impl Ideal {
+    /// Builds the upper bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails validation.
+    pub fn new(params: &SystemParams) -> Self {
+        params.validate().expect("valid system parameters");
+        Self {
+            front: ConventionalFront::new(params.mmu, &params.core_asid),
+            in_pkg: DramController::new(params.in_pkg.clone()),
+            off_pkg: DramController::new(params.off_pkg.clone()),
+            in_pkg_pages: params.cache_slots(),
+            stats: L3Stats::default(),
+        }
+    }
+
+    fn addr(&self, ppn: Ppn, block: u64) -> u64 {
+        (ppn.0 % self.in_pkg_pages) * PAGE_SIZE + block * 64
+    }
+}
+
+impl L3System for Ideal {
+    fn name(&self) -> &'static str {
+        "Ideal"
+    }
+
+    fn translate(
+        &mut self,
+        now: Cycle,
+        core: usize,
+        vpn: Vpn,
+        _is_write: bool,
+    ) -> TranslationOutcome {
+        let t = self.front.translate(now, core, vpn, &mut self.off_pkg);
+        TranslationOutcome {
+            frame: Frame::Phys(t.ppn),
+            nc: false,
+            penalty: t.penalty,
+            tlb_hit: t.l1_hit,
+        }
+    }
+
+    fn access(
+        &mut self,
+        now: Cycle,
+        _core: usize,
+        frame: Frame,
+        _nc: bool,
+        block: u64,
+    ) -> MemoryOutcome {
+        let Frame::Phys(ppn) = frame else {
+            unreachable!("Ideal only issues physical frames");
+        };
+        let c = self
+            .in_pkg
+            .access(now, self.addr(ppn, block), AccessKind::Read, 64);
+        let latency = c.latency(now);
+        self.stats.demand_reads += 1;
+        self.stats.in_package_reads += 1;
+        self.stats.demand_latency_sum += latency;
+        MemoryOutcome {
+            latency,
+            in_package: true,
+        }
+    }
+
+    fn writeback(&mut self, now: Cycle, _core: usize, frame: Frame, _nc: bool, block: u64) {
+        let Frame::Phys(ppn) = frame else {
+            unreachable!("Ideal only issues physical frames");
+        };
+        self.stats.writebacks_in += 1;
+        self.in_pkg
+            .access(now, self.addr(ppn, block), AccessKind::Write, 64);
+    }
+
+    fn stats(&self) -> &L3Stats {
+        &self.stats
+    }
+
+    fn energy_pj(&self) -> f64 {
+        self.in_pkg.stats().energy_pj + self.off_pkg.stats().energy_pj
+    }
+
+    fn in_pkg_stats(&self) -> Option<&DramStats> {
+        Some(self.in_pkg.stats())
+    }
+
+    fn off_pkg_stats(&self) -> &DramStats {
+        self.off_pkg.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = L3Stats::default();
+        self.in_pkg.reset_stats();
+        self.off_pkg.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_access_is_in_package() {
+        let mut i = Ideal::new(&SystemParams::paper_default());
+        let tr = i.translate(0, 0, Vpn(1), false);
+        let m = i.access(tr.penalty, 0, tr.frame, false, 0);
+        assert!(m.in_package);
+        assert_eq!(i.stats().in_package_fraction(), 1.0);
+    }
+
+    #[test]
+    fn ideal_beats_no_l3_latency() {
+        let params = SystemParams::paper_default();
+        let mut ideal = Ideal::new(&params);
+        let mut none = crate::no_l3::NoL3::new(&params);
+        let ti = ideal.translate(0, 0, Vpn(1), false);
+        let tn = none.translate(0, 0, Vpn(1), false);
+        let mi = ideal.access(ti.penalty, 0, ti.frame, false, 0);
+        let mn = none.access(tn.penalty, 0, tn.frame, false, 0);
+        assert!(mi.latency < mn.latency);
+    }
+}

@@ -1,0 +1,138 @@
+//! The no-DRAM-cache baseline: every L2 miss goes to off-package DRAM.
+//!
+//! This is the system all of the paper's IPC/EDP numbers are normalized
+//! to.
+
+use crate::l3::{Frame, L3Stats, L3System, MemoryOutcome, SystemParams, TranslationOutcome};
+use crate::mmu::ConventionalFront;
+use tdc_dram::{AccessKind, DramController, DramStats};
+use tdc_util::{Cycle, Vpn};
+
+/// Conventional memory system with no L3 cache.
+pub struct NoL3 {
+    front: ConventionalFront,
+    off_pkg: DramController,
+    stats: L3Stats,
+}
+
+impl std::fmt::Debug for NoL3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NoL3").field("stats", &self.stats).finish()
+    }
+}
+
+impl NoL3 {
+    /// Builds the baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails validation.
+    pub fn new(params: &SystemParams) -> Self {
+        params.validate().expect("valid system parameters");
+        Self {
+            front: ConventionalFront::new(params.mmu, &params.core_asid),
+            off_pkg: DramController::new(params.off_pkg.clone()),
+            stats: L3Stats::default(),
+        }
+    }
+}
+
+impl L3System for NoL3 {
+    fn name(&self) -> &'static str {
+        "NoL3"
+    }
+
+    fn translate(
+        &mut self,
+        now: Cycle,
+        core: usize,
+        vpn: Vpn,
+        _is_write: bool,
+    ) -> TranslationOutcome {
+        let t = self.front.translate(now, core, vpn, &mut self.off_pkg);
+        TranslationOutcome {
+            frame: Frame::Phys(t.ppn),
+            nc: false,
+            penalty: t.penalty,
+            tlb_hit: t.l1_hit,
+        }
+    }
+
+    fn access(
+        &mut self,
+        now: Cycle,
+        _core: usize,
+        frame: Frame,
+        _nc: bool,
+        block: u64,
+    ) -> MemoryOutcome {
+        let Frame::Phys(ppn) = frame else {
+            unreachable!("NoL3 only issues physical frames");
+        };
+        let c = self
+            .off_pkg
+            .access(now, ppn.addr(block * 64).0, AccessKind::Read, 64);
+        let latency = c.latency(now);
+        self.stats.demand_reads += 1;
+        self.stats.demand_latency_sum += latency;
+        MemoryOutcome {
+            latency,
+            in_package: false,
+        }
+    }
+
+    fn writeback(&mut self, now: Cycle, _core: usize, frame: Frame, _nc: bool, block: u64) {
+        let Frame::Phys(ppn) = frame else {
+            unreachable!("NoL3 only issues physical frames");
+        };
+        self.stats.writebacks_in += 1;
+        self.off_pkg
+            .access(now, ppn.addr(block * 64).0, AccessKind::Write, 64);
+    }
+
+    fn stats(&self) -> &L3Stats {
+        &self.stats
+    }
+
+    fn energy_pj(&self) -> f64 {
+        self.off_pkg.stats().energy_pj
+    }
+
+    fn in_pkg_stats(&self) -> Option<&DramStats> {
+        None
+    }
+
+    fn off_pkg_stats(&self) -> &DramStats {
+        self.off_pkg.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = L3Stats::default();
+        self.off_pkg.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_accesses_off_package() {
+        let mut n = NoL3::new(&SystemParams::paper_default());
+        let tr = n.translate(0, 0, Vpn(1), false);
+        let m = n.access(tr.penalty, 0, tr.frame, false, 0);
+        assert!(!m.in_package);
+        assert!(n.in_pkg_stats().is_none());
+        assert!(n.off_pkg_stats().reads > 0);
+        assert_eq!(n.stats().page_fills, 0);
+    }
+
+    #[test]
+    fn writebacks_reach_memory() {
+        let mut n = NoL3::new(&SystemParams::paper_default());
+        let tr = n.translate(0, 0, Vpn(1), false);
+        let w = n.off_pkg_stats().writes;
+        n.writeback(100, 0, tr.frame, false, 2);
+        assert_eq!(n.off_pkg_stats().writes, w + 1);
+    }
+}

@@ -1,0 +1,391 @@
+//! Cache slot management: header pointer, free queue, and victim
+//! selection for the tagless design.
+//!
+//! The paper's replacement machinery (§3.2, Fig. 4): a globally shared
+//! **header pointer** hands out free slots in ring order; a **free
+//! queue** holds slots selected for (asynchronous) eviction; victim
+//! selection skips TLB-resident pages, and a page whose mapping returns
+//! to a TLB before its eviction is processed is *rescued* back to the
+//! occupied state (in-package victim hit). FIFO is the default policy;
+//! LRU is provided for the Fig. 11 sensitivity study.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use tdc_util::Cpn;
+
+/// Victim selection policy for the tagless cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VictimPolicy {
+    /// First-in-first-out via the header pointer (paper default).
+    #[default]
+    Fifo,
+    /// Least-recently-used (Fig. 11 sensitivity study).
+    Lru,
+}
+
+/// State of one cache slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Free,
+    Occupied,
+    /// Selected for eviction and sitting in the free queue.
+    PendingEvict,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    state: SlotState,
+    dirty: bool,
+    /// Recency stamp (LRU) / insertion stamp (FIFO bookkeeping).
+    stamp: u64,
+}
+
+/// Slot allocator + victim selector + free queue.
+#[derive(Debug, Clone)]
+pub struct SlotRing {
+    slots: Vec<Slot>,
+    policy: VictimPolicy,
+    free_list: VecDeque<Cpn>,
+    /// FIFO order of occupied slots (with second-chance for resident
+    /// pages).
+    fifo_order: VecDeque<Cpn>,
+    /// Lazy min-heap of (stamp, cpn) for LRU.
+    lru_heap: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Slots awaiting asynchronous eviction.
+    free_queue: VecDeque<Cpn>,
+    tick: u64,
+    rescues: u64,
+}
+
+impl SlotRing {
+    /// Creates a ring of `n` free slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u64, policy: VictimPolicy) -> Self {
+        assert!(n > 0, "cache must have at least one slot");
+        Self {
+            slots: vec![
+                Slot {
+                    state: SlotState::Free,
+                    dirty: false,
+                    stamp: 0,
+                };
+                n as usize
+            ],
+            policy,
+            free_list: (0..n).map(Cpn).collect(),
+            fifo_order: VecDeque::new(),
+            lru_heap: BinaryHeap::new(),
+            free_queue: VecDeque::new(),
+            tick: 0,
+            rescues: 0,
+        }
+    }
+
+    /// Total slots.
+    pub fn len(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    /// Whether the ring has zero slots (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Currently free slots (allocatable right now).
+    pub fn free_count(&self) -> u64 {
+        self.free_list.len() as u64
+    }
+
+    /// Occupied slots (including pending evictions).
+    pub fn occupancy(&self) -> u64 {
+        self.len() - self.free_count()
+    }
+
+    /// Entries waiting in the free queue.
+    pub fn pending_len(&self) -> u64 {
+        self.free_queue.len() as u64
+    }
+
+    /// Times a pending eviction was rescued by a victim hit.
+    pub fn rescues(&self) -> u64 {
+        self.rescues
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> VictimPolicy {
+        self.policy
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Allocates the slot at the header pointer. Returns `None` when no
+    /// free slot exists (the caller failed to maintain α).
+    pub fn allocate(&mut self) -> Option<Cpn> {
+        let cpn = self.free_list.pop_front()?;
+        let stamp = self.bump();
+        let s = &mut self.slots[cpn.0 as usize];
+        debug_assert_eq!(s.state, SlotState::Free);
+        *s = Slot {
+            state: SlotState::Occupied,
+            dirty: false,
+            stamp,
+        };
+        self.fifo_order.push_back(cpn);
+        if self.policy == VictimPolicy::Lru {
+            self.lru_heap.push(Reverse((stamp, cpn.0)));
+        }
+        Some(cpn)
+    }
+
+    /// Records a use of `cpn` (LRU recency; no-op under FIFO).
+    pub fn touch(&mut self, cpn: Cpn) {
+        if self.policy != VictimPolicy::Lru {
+            return;
+        }
+        let stamp = self.bump();
+        let s = &mut self.slots[cpn.0 as usize];
+        if s.state == SlotState::Occupied {
+            s.stamp = stamp;
+            self.lru_heap.push(Reverse((stamp, cpn.0)));
+        }
+    }
+
+    /// Marks a slot dirty (a writeback reached it).
+    pub fn mark_dirty(&mut self, cpn: Cpn) {
+        self.slots[cpn.0 as usize].dirty = true;
+    }
+
+    /// Whether a slot currently holds a page (occupied or pending).
+    pub fn is_live(&self, cpn: Cpn) -> bool {
+        self.slots[cpn.0 as usize].state != SlotState::Free
+    }
+
+    /// Selects one victim for which `resident` is false, moving it into
+    /// the free queue. Resident pages get a second chance. Returns the
+    /// selected slot, or `None` if every occupied slot is TLB-resident.
+    pub fn enqueue_victim(&mut self, resident: impl Fn(Cpn) -> bool) -> Option<Cpn> {
+        match self.policy {
+            VictimPolicy::Fifo => {
+                let mut attempts = self.fifo_order.len();
+                while attempts > 0 {
+                    attempts -= 1;
+                    let cpn = self.fifo_order.pop_front()?;
+                    if self.slots[cpn.0 as usize].state != SlotState::Occupied {
+                        continue; // stale entry (rescued pages re-enter later)
+                    }
+                    if resident(cpn) {
+                        self.fifo_order.push_back(cpn); // second chance
+                        continue;
+                    }
+                    self.slots[cpn.0 as usize].state = SlotState::PendingEvict;
+                    self.free_queue.push_back(cpn);
+                    return Some(cpn);
+                }
+                None
+            }
+            VictimPolicy::Lru => {
+                let mut deferred = Vec::new();
+                let mut selected = None;
+                while let Some(Reverse((stamp, raw))) = self.lru_heap.pop() {
+                    let cpn = Cpn(raw);
+                    let s = self.slots[raw as usize];
+                    if s.state != SlotState::Occupied || s.stamp != stamp {
+                        continue; // lazy-deleted duplicate
+                    }
+                    if resident(cpn) {
+                        deferred.push(Reverse((stamp, raw)));
+                        continue;
+                    }
+                    self.slots[raw as usize].state = SlotState::PendingEvict;
+                    self.free_queue.push_back(cpn);
+                    selected = Some(cpn);
+                    break;
+                }
+                for d in deferred {
+                    self.lru_heap.push(d);
+                }
+                selected
+            }
+        }
+    }
+
+    /// Pops the next pending eviction (skipping rescued slots),
+    /// freeing the slot and returning `(cpn, was_dirty)`.
+    pub fn pop_eviction(&mut self) -> Option<(Cpn, bool)> {
+        while let Some(cpn) = self.free_queue.pop_front() {
+            let s = &mut self.slots[cpn.0 as usize];
+            if s.state != SlotState::PendingEvict {
+                continue; // rescued in the meantime
+            }
+            let dirty = s.dirty;
+            *s = Slot {
+                state: SlotState::Free,
+                dirty: false,
+                stamp: 0,
+            };
+            self.free_list.push_back(cpn);
+            return Some((cpn, dirty));
+        }
+        None
+    }
+
+    /// Rescues a pending eviction (in-package victim hit re-established
+    /// the mapping). Returns whether anything was rescued.
+    pub fn rescue(&mut self, cpn: Cpn) -> bool {
+        let stamp = self.bump();
+        let s = &mut self.slots[cpn.0 as usize];
+        if s.state != SlotState::PendingEvict {
+            return false;
+        }
+        // Drop the stale free-queue entry so a later re-selection cannot
+        // double-queue the slot (the queue is at most a few entries, so
+        // the linear purge is cheap).
+        self.free_queue.retain(|&c| c != cpn);
+        let s = &mut self.slots[cpn.0 as usize];
+        s.state = SlotState::Occupied;
+        s.stamp = stamp;
+        self.fifo_order.push_back(cpn);
+        if self.policy == VictimPolicy::Lru {
+            self.lru_heap.push(Reverse((stamp, cpn.0)));
+        }
+        self.rescues += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_ring_ordered() {
+        let mut r = SlotRing::new(4, VictimPolicy::Fifo);
+        assert_eq!(r.allocate(), Some(Cpn(0)));
+        assert_eq!(r.allocate(), Some(Cpn(1)));
+        assert_eq!(r.free_count(), 2);
+        assert_eq!(r.occupancy(), 2);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut r = SlotRing::new(2, VictimPolicy::Fifo);
+        r.allocate();
+        r.allocate();
+        assert_eq!(r.allocate(), None);
+    }
+
+    #[test]
+    fn fifo_victim_is_oldest() {
+        let mut r = SlotRing::new(4, VictimPolicy::Fifo);
+        for _ in 0..4 {
+            r.allocate();
+        }
+        assert_eq!(r.enqueue_victim(|_| false), Some(Cpn(0)));
+        assert_eq!(r.pop_eviction(), Some((Cpn(0), false)));
+        assert_eq!(r.free_count(), 1);
+        // The freed slot is reused.
+        r.allocate();
+        assert_eq!(r.free_count(), 0);
+    }
+
+    #[test]
+    fn resident_pages_get_second_chance() {
+        let mut r = SlotRing::new(4, VictimPolicy::Fifo);
+        for _ in 0..4 {
+            r.allocate();
+        }
+        // Slot 0 is TLB-resident: victim selection skips to slot 1.
+        assert_eq!(r.enqueue_victim(|c| c == Cpn(0)), Some(Cpn(1)));
+        // All resident: nothing selectable.
+        let mut r2 = SlotRing::new(2, VictimPolicy::Fifo);
+        r2.allocate();
+        r2.allocate();
+        assert_eq!(r2.enqueue_victim(|_| true), None);
+    }
+
+    #[test]
+    fn rescue_cancels_eviction() {
+        let mut r = SlotRing::new(4, VictimPolicy::Fifo);
+        for _ in 0..4 {
+            r.allocate();
+        }
+        let v = r.enqueue_victim(|_| false).unwrap();
+        assert!(r.rescue(v));
+        assert_eq!(r.pop_eviction(), None, "rescued slot must not evict");
+        assert_eq!(r.rescues(), 1);
+        assert!(r.is_live(v));
+        // A rescued page can be selected again later.
+        assert_eq!(r.enqueue_victim(|_| false), Some(Cpn(1)));
+    }
+
+    #[test]
+    fn rescue_of_occupied_slot_is_noop() {
+        let mut r = SlotRing::new(2, VictimPolicy::Fifo);
+        let c = r.allocate().unwrap();
+        assert!(!r.rescue(c));
+    }
+
+    #[test]
+    fn dirty_flag_travels_with_eviction() {
+        let mut r = SlotRing::new(2, VictimPolicy::Fifo);
+        let c = r.allocate().unwrap();
+        r.mark_dirty(c);
+        r.allocate();
+        r.enqueue_victim(|_| false);
+        assert_eq!(r.pop_eviction(), Some((c, true)));
+    }
+
+    #[test]
+    fn lru_victim_is_least_recent() {
+        let mut r = SlotRing::new(3, VictimPolicy::Lru);
+        let a = r.allocate().unwrap();
+        let b = r.allocate().unwrap();
+        let c = r.allocate().unwrap();
+        r.touch(a); // a most recent; b is now LRU
+        assert_eq!(r.enqueue_victim(|_| false), Some(b));
+        let _ = (c,);
+    }
+
+    #[test]
+    fn lru_skips_resident() {
+        let mut r = SlotRing::new(3, VictimPolicy::Lru);
+        let a = r.allocate().unwrap();
+        let b = r.allocate().unwrap();
+        r.allocate();
+        assert_eq!(r.enqueue_victim(|c| c == a), Some(b));
+        // The resident page remains selectable once non-resident.
+        assert_eq!(r.enqueue_victim(|_| false), Some(a));
+    }
+
+    #[test]
+    fn lru_touch_after_pending_does_not_corrupt() {
+        let mut r = SlotRing::new(2, VictimPolicy::Lru);
+        let a = r.allocate().unwrap();
+        r.allocate();
+        r.enqueue_victim(|_| false);
+        r.touch(a); // touching a pending slot is a no-op
+        assert_eq!(r.pop_eviction(), Some((a, false)));
+    }
+
+    #[test]
+    fn steady_state_allocate_evict_cycle() {
+        let mut r = SlotRing::new(8, VictimPolicy::Fifo);
+        let mut allocated = 0u64;
+        for _ in 0..100 {
+            if r.free_count() == 0 {
+                r.enqueue_victim(|_| false).expect("victim available");
+                r.pop_eviction().expect("eviction completes");
+            }
+            r.allocate().expect("slot after eviction");
+            allocated += 1;
+        }
+        assert_eq!(allocated, 100);
+        assert_eq!(r.occupancy(), 8);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the slot ring / free queue state machine:
+//! random interleavings of allocate / touch / enqueue / pop / rescue
+//! must never corrupt occupancy accounting or lose slots.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use tdc_dram_cache::{SlotRing, VictimPolicy};
+use tdc_util::Cpn;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Allocate,
+    Touch(u64),
+    MarkDirty(u64),
+    EnqueueVictim,
+    PopEviction,
+    Rescue(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Allocate),
+        2 => (0u64..1024).prop_map(Op::Touch),
+        1 => (0u64..1024).prop_map(Op::MarkDirty),
+        2 => Just(Op::EnqueueVictim),
+        2 => Just(Op::PopEviction),
+        1 => (0u64..1024).prop_map(Op::Rescue),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn slot_ring_state_machine_is_consistent(
+        policy in prop_oneof![Just(VictimPolicy::Fifo), Just(VictimPolicy::Lru)],
+        slots in 2u64..32,
+        ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut ring = SlotRing::new(slots, policy);
+        let mut live: HashSet<Cpn> = HashSet::new();
+        for op in ops {
+            match op {
+                Op::Allocate => {
+                    if let Some(c) = ring.allocate() {
+                        prop_assert!(live.insert(c), "allocated a live slot {c:?}");
+                    }
+                }
+                Op::Touch(i) => ring.touch(Cpn(i % slots)),
+                Op::MarkDirty(i) => ring.mark_dirty(Cpn(i % slots)),
+                Op::EnqueueVictim => {
+                    let _ = ring.enqueue_victim(|_| false);
+                }
+                Op::PopEviction => {
+                    if let Some((c, _dirty)) = ring.pop_eviction() {
+                        prop_assert!(live.remove(&c), "evicted a non-live slot {c:?}");
+                    }
+                }
+                Op::Rescue(i) => {
+                    let _ = ring.rescue(Cpn(i % slots));
+                }
+            }
+            // Invariants after every step.
+            prop_assert_eq!(ring.occupancy() + ring.free_count(), slots);
+            prop_assert_eq!(ring.occupancy(), live.len() as u64);
+            prop_assert!(ring.pending_len() <= ring.occupancy());
+        }
+    }
+
+    #[test]
+    fn allocate_evict_cycles_never_lose_slots(
+        policy in prop_oneof![Just(VictimPolicy::Fifo), Just(VictimPolicy::Lru)],
+        slots in 1u64..64,
+        rounds in 1usize..500,
+    ) {
+        let mut ring = SlotRing::new(slots, policy);
+        for round in 0..rounds {
+            if ring.free_count() == 0 {
+                let selected = ring.enqueue_victim(|_| false);
+                prop_assert!(selected.is_some(), "full ring must have a victim");
+                let popped = ring.pop_eviction();
+                prop_assert!(popped.is_some(), "queued victim must pop");
+            }
+            let c = ring.allocate();
+            prop_assert!(c.is_some(), "round {round}: allocation failed");
+            if round % 3 == 0 {
+                ring.touch(c.expect("checked above"));
+            }
+        }
+        prop_assert_eq!(ring.occupancy() + ring.free_count(), slots);
+    }
+
+    #[test]
+    fn rescue_is_idempotent_and_safe(slots in 2u64..16, n in 1u64..16) {
+        let mut ring = SlotRing::new(slots, VictimPolicy::Fifo);
+        for _ in 0..slots.min(n) {
+            ring.allocate();
+        }
+        if let Some(v) = ring.enqueue_victim(|_| false) {
+            prop_assert!(ring.rescue(v));
+            prop_assert!(!ring.rescue(v), "second rescue must be a no-op");
+            prop_assert_eq!(ring.pop_eviction(), None);
+            prop_assert!(ring.is_live(v));
+        }
+        prop_assert_eq!(ring.occupancy() + ring.free_count(), slots);
+    }
+}

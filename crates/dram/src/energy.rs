@@ -1,0 +1,97 @@
+//! DRAM access energy parameters (paper Table 4).
+
+/// Per-access DRAM energy model.
+///
+/// Energy is accounted per access: every transferred bit pays array
+/// read/write energy plus I/O energy, and every row activation pays a
+/// fixed ACT+PRE energy for the 4KB row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramEnergy {
+    /// I/O (channel) energy per bit, in pJ.
+    pub io_pj_per_bit: f64,
+    /// Array read/write energy per bit (without I/O), in pJ.
+    pub rw_pj_per_bit: f64,
+    /// Activate + precharge energy for a 4KB row, in nJ.
+    pub act_pre_nj: f64,
+}
+
+impl DramEnergy {
+    /// In-package (TSV) DRAM energy (Table 4). I/O energy is the reduced
+    /// 2.4 pJ/b because silicon-interposer channels are replaced with
+    /// TSV bumps.
+    pub fn in_package() -> Self {
+        Self {
+            io_pj_per_bit: 2.4,
+            rw_pj_per_bit: 4.0,
+            act_pre_nj: 15.0,
+        }
+    }
+
+    /// Off-package DDR3 DRAM energy (Table 4).
+    pub fn off_package() -> Self {
+        Self {
+            io_pj_per_bit: 20.0,
+            rw_pj_per_bit: 13.0,
+            act_pre_nj: 15.0,
+        }
+    }
+
+    /// Energy (pJ) to transfer `bytes` over the channel and array,
+    /// excluding activation.
+    pub fn transfer_pj(&self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 * (self.io_pj_per_bit + self.rw_pj_per_bit)
+    }
+
+    /// Energy (pJ) of one row activation + precharge.
+    pub fn activation_pj(&self) -> f64 {
+        self.act_pre_nj * 1000.0
+    }
+
+    /// Total energy (pJ) of an access transferring `bytes`, with or
+    /// without a row activation.
+    pub fn access_pj(&self, bytes: u64, activated: bool) -> f64 {
+        self.transfer_pj(bytes) + if activated { self.activation_pj() } else { 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_values() {
+        let i = DramEnergy::in_package();
+        assert_eq!(i.io_pj_per_bit, 2.4);
+        assert_eq!(i.rw_pj_per_bit, 4.0);
+        let o = DramEnergy::off_package();
+        assert_eq!(o.io_pj_per_bit, 20.0);
+        assert_eq!(o.rw_pj_per_bit, 13.0);
+    }
+
+    #[test]
+    fn block_transfer_energy() {
+        // 64B over off-package: 512 bits * 33 pJ/b = 16896 pJ.
+        let o = DramEnergy::off_package();
+        assert!((o.transfer_pj(64) - 16896.0).abs() < 1e-9);
+        // Same block in-package: 512 * 6.4 = 3276.8 pJ (5.2x cheaper).
+        let i = DramEnergy::in_package();
+        assert!((i.transfer_pj(64) - 3276.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activation_amortized_by_page_fill() {
+        // For a full-page (4KB) transfer, activation energy is a small
+        // fraction — the row-buffer-locality argument of Table 2.
+        let i = DramEnergy::in_package();
+        let act = i.activation_pj();
+        let xfer = i.transfer_pj(4096);
+        assert!(act < 0.1 * xfer);
+    }
+
+    #[test]
+    fn access_energy_includes_activation_when_asked() {
+        let e = DramEnergy::in_package();
+        assert!(e.access_pj(64, true) > e.access_pj(64, false));
+        assert!((e.access_pj(64, true) - e.access_pj(64, false) - 15000.0).abs() < 1e-9);
+    }
+}

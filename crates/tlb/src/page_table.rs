@@ -1,0 +1,247 @@
+//! Page-table entries and per-process page tables.
+
+use std::collections::HashMap;
+use tdc_util::{Cpn, Ppn, Vpn};
+
+/// Where a virtual page currently resolves to.
+///
+/// In the tagless design the PTE's frame field is *overwritten* with the
+/// cache address while the page is resident in the DRAM cache (VC=1);
+/// the original physical address is recoverable only through the GIPT
+/// (paper §3.2). This enum models that faithfully: a PTE holds exactly
+/// one of the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Translation {
+    /// Conventional mapping to off-package physical memory (VC=0).
+    Physical(Ppn),
+    /// Mapping into the in-package DRAM cache (VC=1).
+    Cache(Cpn),
+}
+
+impl Translation {
+    /// Whether this is a cache (VC=1) mapping.
+    pub fn is_cached(&self) -> bool {
+        matches!(self, Translation::Cache(_))
+    }
+}
+
+/// A page-table entry with the paper's extra flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// Current frame mapping; `Translation::Cache` implies VC=1.
+    pub frame: Translation,
+    /// Non-Cacheable bit: the page bypasses the DRAM cache (but not the
+    /// on-die SRAM caches).
+    pub nc: bool,
+    /// Pending-Update bit: a cache fill for this page is in flight;
+    /// concurrent TLB misses must wait instead of issuing a duplicate
+    /// fill.
+    pub pu: bool,
+    /// Dirty bit (the page has been written since it was loaded/filled).
+    pub dirty: bool,
+    /// Accessed bit.
+    pub accessed: bool,
+}
+
+impl Pte {
+    /// A fresh entry mapping to physical memory.
+    pub fn physical(ppn: Ppn) -> Self {
+        Self {
+            frame: Translation::Physical(ppn),
+            nc: false,
+            pu: false,
+            dirty: false,
+            accessed: false,
+        }
+    }
+
+    /// VC bit: whether the page is valid in the DRAM cache.
+    pub fn valid_in_cache(&self) -> bool {
+        self.frame.is_cached()
+    }
+}
+
+/// A per-process page table with demand allocation of physical frames.
+///
+/// Physical frames are handed out by a deterministic per-process
+/// allocator: process `asid`'s pages land in a contiguous region of the
+/// off-package physical space, scattered page-by-page with a multiplicative
+/// hash so that consecutive virtual pages do not map to consecutive
+/// physical pages (as after real OS fragmentation). This matters for the
+/// set-indexing behaviour of the SRAM-tag baseline.
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    asid: u32,
+    entries: HashMap<Vpn, Pte>,
+    next_seq: u64,
+}
+
+/// Number of physical pages reserved per address space (8GB / 4KB / 4
+/// processes would be 512K; we give each space a 2M-page = 8GB window
+/// wrapped modulo the region so footprints never collide between
+/// processes sharing off-package memory in multi-programmed runs).
+const PAGES_PER_ASID_REGION: u64 = 1 << 21;
+
+impl PageTable {
+    /// Creates an empty page table for address-space `asid`.
+    pub fn new(asid: u32) -> Self {
+        Self {
+            asid,
+            entries: HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// The address-space identifier.
+    pub fn asid(&self) -> u32 {
+        self.asid
+    }
+
+    /// Number of mapped pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a PTE without faulting.
+    pub fn get(&self, vpn: Vpn) -> Option<&Pte> {
+        self.entries.get(&vpn)
+    }
+
+    /// Mutable lookup without faulting.
+    pub fn get_mut(&mut self, vpn: Vpn) -> Option<&mut Pte> {
+        self.entries.get_mut(&vpn)
+    }
+
+    /// Returns the PTE for `vpn`, allocating a physical frame on first
+    /// touch (demand paging).
+    pub fn translate_or_fault(&mut self, vpn: Vpn) -> &mut Pte {
+        let asid = self.asid;
+        let seq = &mut self.next_seq;
+        self.entries.entry(vpn).or_insert_with(|| {
+            let s = *seq;
+            *seq += 1;
+            Pte::physical(Self::frame_for(asid, s))
+        })
+    }
+
+    /// Deterministic scattered frame assignment.
+    fn frame_for(asid: u32, seq: u64) -> Ppn {
+        let region_base = asid as u64 * PAGES_PER_ASID_REGION;
+        // Odd multiplier => bijection modulo the power-of-two region.
+        let scattered = seq.wrapping_mul(0x9E37_79B9) & (PAGES_PER_ASID_REGION - 1);
+        Ppn(region_base + scattered)
+    }
+
+    /// Marks a page non-cacheable (used by the §5.4 profiling study and
+    /// for cross-process shared pages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is currently cached (the OS must evict before
+    /// re-flagging).
+    pub fn set_non_cacheable(&mut self, vpn: Vpn) {
+        let pte = self.translate_or_fault(vpn);
+        assert!(
+            !pte.valid_in_cache(),
+            "cannot flag a cached page non-cacheable"
+        );
+        pte.nc = true;
+    }
+
+    /// Maps `vpn` to an explicit (possibly shared) physical frame, used
+    /// for pages shared across address spaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already mapped.
+    pub fn map_shared(&mut self, vpn: Vpn, ppn: Ppn) {
+        let old = self.entries.insert(vpn, Pte::physical(ppn));
+        assert!(old.is_none(), "page already mapped");
+    }
+
+    /// Iterates over all mapped `(vpn, pte)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vpn, &Pte)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdc_util::Cpn;
+
+    #[test]
+    fn demand_allocation_is_stable() {
+        let mut pt = PageTable::new(1);
+        let p1 = pt.translate_or_fault(Vpn(10)).frame;
+        let p2 = pt.translate_or_fault(Vpn(10)).frame;
+        assert_eq!(p1, p2);
+        assert_eq!(pt.len(), 1);
+    }
+
+    #[test]
+    fn distinct_vpns_get_distinct_frames() {
+        let mut pt = PageTable::new(0);
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..10_000u64 {
+            let Translation::Physical(ppn) = pt.translate_or_fault(Vpn(v)).frame else {
+                panic!("fresh page must be physical");
+            };
+            assert!(seen.insert(ppn), "duplicate frame {ppn:?}");
+        }
+    }
+
+    #[test]
+    fn frames_are_scattered_not_sequential() {
+        let mut pt = PageTable::new(0);
+        let Translation::Physical(a) = pt.translate_or_fault(Vpn(0)).frame else {
+            unreachable!()
+        };
+        let Translation::Physical(b) = pt.translate_or_fault(Vpn(1)).frame else {
+            unreachable!()
+        };
+        assert_ne!(b.0, a.0 + 1, "consecutive VPNs must not be contiguous");
+    }
+
+    #[test]
+    fn asid_regions_do_not_overlap() {
+        let mut pt0 = PageTable::new(0);
+        let mut pt1 = PageTable::new(1);
+        let Translation::Physical(a) = pt0.translate_or_fault(Vpn(5)).frame else {
+            unreachable!()
+        };
+        let Translation::Physical(b) = pt1.translate_or_fault(Vpn(5)).frame else {
+            unreachable!()
+        };
+        assert!(a.0 < PAGES_PER_ASID_REGION);
+        assert!(b.0 >= PAGES_PER_ASID_REGION);
+    }
+
+    #[test]
+    fn vc_bit_tracks_frame_kind() {
+        let mut pte = Pte::physical(Ppn(3));
+        assert!(!pte.valid_in_cache());
+        pte.frame = Translation::Cache(Cpn(0));
+        assert!(pte.valid_in_cache());
+    }
+
+    #[test]
+    fn nc_flagging() {
+        let mut pt = PageTable::new(0);
+        pt.set_non_cacheable(Vpn(7));
+        assert!(pt.get(Vpn(7)).unwrap().nc);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot flag a cached page")]
+    fn nc_on_cached_page_panics() {
+        let mut pt = PageTable::new(0);
+        pt.translate_or_fault(Vpn(7)).frame = Translation::Cache(Cpn(1));
+        pt.set_non_cacheable(Vpn(7));
+    }
+}

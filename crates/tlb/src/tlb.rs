@@ -1,0 +1,323 @@
+//! Set-associative TLB model, usable as a conventional TLB or as the
+//! paper's cache-map TLB (cTLB).
+//!
+//! The hardware organization is identical in both roles (paper §3.2);
+//! only the payload differs: a VA→PA mapping for non-cacheable pages
+//! (NC=1) or a VA→CA mapping for cached pages (NC=0).
+
+use crate::page_table::Translation;
+use std::fmt;
+use tdc_util::{Cpn, Ppn, Vpn};
+
+/// The payload of a TLB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// The mapping this entry provides.
+    pub frame: Translation,
+    /// Non-Cacheable bit copied from the PTE.
+    pub nc: bool,
+}
+
+impl TlbEntry {
+    /// A conventional VA→PA entry.
+    pub fn physical(ppn: Ppn, nc: bool) -> Self {
+        Self {
+            frame: Translation::Physical(ppn),
+            nc,
+        }
+    }
+
+    /// A cTLB VA→CA entry (cached pages are by definition cacheable).
+    pub fn cache(cpn: Cpn, nc: bool) -> Self {
+        Self {
+            frame: Translation::Cache(cpn),
+            nc,
+        }
+    }
+}
+
+/// Error returned for an invalid TLB shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlbShapeError(&'static str);
+
+impl fmt::Display for TlbShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid TLB shape: {}", self.0)
+    }
+}
+
+impl std::error::Error for TlbShapeError {}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    vpn: Vpn,
+    entry: TlbEntry,
+    valid: bool,
+    stamp: u64,
+}
+
+/// A set-associative, LRU TLB.
+///
+/// `ways == entries` gives a fully associative TLB (the paper's 32-entry
+/// L1 TLBs); the 512-entry L2 TLB is typically configured 8-way.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    slots: Vec<Slot>,
+    sets: u64,
+    ways: u32,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` total entries and associativity
+    /// `ways`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `entries` is zero, `ways` is zero, or `ways`
+    /// does not divide `entries`.
+    pub fn new(entries: u32, ways: u32) -> Result<Self, TlbShapeError> {
+        if entries == 0 || ways == 0 {
+            return Err(TlbShapeError("entries and ways must be non-zero"));
+        }
+        if entries % ways != 0 {
+            return Err(TlbShapeError("ways must divide entries"));
+        }
+        let invalid = Slot {
+            vpn: Vpn(0),
+            entry: TlbEntry::physical(Ppn(0), false),
+            valid: false,
+            stamp: 0,
+        };
+        Ok(Self {
+            slots: vec![invalid; entries as usize],
+            sets: (entries / ways) as u64,
+            ways,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// Total entry count.
+    pub fn entries(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// TLB hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// TLB misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss rate; 0 when idle.
+    pub fn miss_rate(&self) -> f64 {
+        let n = self.hits + self.misses;
+        if n == 0 {
+            0.0
+        } else {
+            self.misses as f64 / n as f64
+        }
+    }
+
+    fn set_range(&self, vpn: Vpn) -> std::ops::Range<usize> {
+        let set = (vpn.0 % self.sets) as usize;
+        let w = self.ways as usize;
+        set * w..set * w + w
+    }
+
+    /// Looks up a translation, updating LRU state and hit/miss counters.
+    pub fn lookup(&mut self, vpn: Vpn) -> Option<TlbEntry> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(vpn);
+        for slot in &mut self.slots[range] {
+            if slot.valid && slot.vpn == vpn {
+                slot.stamp = tick;
+                self.hits += 1;
+                return Some(slot.entry);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Checks residence without updating LRU or counters. This is the
+    /// probe the GIPT's TLB-residence bit vector abstracts: a page still
+    /// mapped by some TLB must not be evicted (paper §3.2).
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        let range = self.set_range(vpn);
+        self.slots[range.clone()]
+            .iter()
+            .any(|s| s.valid && s.vpn == vpn)
+    }
+
+    /// Inserts (or updates) a translation, returning the displaced entry
+    /// if a valid one was evicted.
+    pub fn insert(&mut self, vpn: Vpn, entry: TlbEntry) -> Option<(Vpn, TlbEntry)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(vpn);
+        let slots = &mut self.slots[range];
+
+        if let Some(slot) = slots.iter_mut().find(|s| s.valid && s.vpn == vpn) {
+            slot.entry = entry;
+            slot.stamp = tick;
+            return None;
+        }
+        let victim = match slots.iter().position(|s| !s.valid) {
+            Some(i) => i,
+            None => slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.stamp)
+                .map(|(i, _)| i)
+                .expect("non-empty set"),
+        };
+        let displaced = slots[victim]
+            .valid
+            .then_some((slots[victim].vpn, slots[victim].entry));
+        slots[victim] = Slot {
+            vpn,
+            entry,
+            valid: true,
+            stamp: tick,
+        };
+        displaced
+    }
+
+    /// Invalidates a mapping (TLB shootdown); returns whether it was
+    /// present.
+    pub fn invalidate(&mut self, vpn: Vpn) -> bool {
+        let range = self.set_range(vpn);
+        for slot in &mut self.slots[range] {
+            if slot.valid && slot.vpn == vpn {
+                slot.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates everything (e.g. a full flush at context switch).
+    pub fn flush(&mut self) {
+        for slot in &mut self.slots {
+            slot.valid = false;
+        }
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> u32 {
+        self.slots.iter().filter(|s| s.valid).count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: u64) -> TlbEntry {
+        TlbEntry::physical(Ppn(n), false)
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(Tlb::new(0, 1).is_err());
+        assert!(Tlb::new(32, 0).is_err());
+        assert!(Tlb::new(32, 5).is_err());
+        assert!(Tlb::new(32, 32).is_ok());
+        assert!(Tlb::new(512, 8).is_ok());
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut t = Tlb::new(32, 32).unwrap();
+        assert!(t.lookup(Vpn(1)).is_none());
+        t.insert(Vpn(1), entry(9));
+        assert_eq!(t.lookup(Vpn(1)), Some(entry(9)));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_in_full_set() {
+        let mut t = Tlb::new(2, 2).unwrap(); // 1 set, 2 ways
+        t.insert(Vpn(1), entry(1));
+        t.insert(Vpn(2), entry(2));
+        t.lookup(Vpn(1)); // 1 becomes MRU
+        let evicted = t.insert(Vpn(3), entry(3));
+        assert_eq!(evicted.map(|(v, _)| v), Some(Vpn(2)));
+        assert!(t.contains(Vpn(1)));
+        assert!(!t.contains(Vpn(2)));
+    }
+
+    #[test]
+    fn insert_existing_updates_in_place() {
+        let mut t = Tlb::new(4, 4).unwrap();
+        t.insert(Vpn(1), entry(1));
+        let displaced = t.insert(Vpn(1), TlbEntry::cache(Cpn(5), false));
+        assert!(displaced.is_none());
+        assert_eq!(t.lookup(Vpn(1)), Some(TlbEntry::cache(Cpn(5), false)));
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn contains_does_not_touch_lru_or_stats() {
+        let mut t = Tlb::new(2, 2).unwrap();
+        t.insert(Vpn(1), entry(1));
+        t.insert(Vpn(2), entry(2));
+        assert!(t.contains(Vpn(1)));
+        // LRU order unchanged: 1 is still oldest and gets evicted.
+        let evicted = t.insert(Vpn(3), entry(3));
+        assert_eq!(evicted.map(|(v, _)| v), Some(Vpn(1)));
+        assert_eq!(t.hits() + t.misses(), 0);
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut t = Tlb::new(8, 8).unwrap();
+        t.insert(Vpn(1), entry(1));
+        t.insert(Vpn(2), entry(2));
+        assert!(t.invalidate(Vpn(1)));
+        assert!(!t.invalidate(Vpn(1)));
+        assert_eq!(t.occupancy(), 1);
+        t.flush();
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn set_indexing_separates_conflicting_vpns() {
+        let mut t = Tlb::new(8, 2).unwrap(); // 4 sets
+        // VPNs 0 and 4 share a set; 1 goes elsewhere.
+        t.insert(Vpn(0), entry(0));
+        t.insert(Vpn(4), entry(4));
+        t.insert(Vpn(8), entry(8)); // same set, evicts LRU = 0
+        assert!(!t.contains(Vpn(0)));
+        assert!(t.contains(Vpn(4)));
+    }
+
+    #[test]
+    fn miss_rate_reporting() {
+        let mut t = Tlb::new(4, 4).unwrap();
+        assert_eq!(t.miss_rate(), 0.0);
+        t.lookup(Vpn(1));
+        t.insert(Vpn(1), entry(1));
+        t.lookup(Vpn(1));
+        assert!((t.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ctlb_entries_carry_cache_addresses() {
+        let mut t = Tlb::new(32, 32).unwrap();
+        t.insert(Vpn(100), TlbEntry::cache(Cpn(55), false));
+        let e = t.lookup(Vpn(100)).unwrap();
+        assert_eq!(e.frame, Translation::Cache(Cpn(55)));
+        assert!(!e.nc);
+    }
+}

@@ -1,0 +1,455 @@
+//! Per-benchmark workload profiles (the SPEC/PARSEC substitution).
+//!
+//! Each profile captures the memory behaviour that page-based DRAM-cache
+//! studies depend on. The parameter values are calibrated from published
+//! characterizations: SPEC CPU2006 footprints (Henning, CAN 2007 — the
+//! paper's reference \[16\]), published MPKI rankings of the memory-bound
+//! subset, and the paper's own qualitative statements (e.g.
+//! 459.GemsFDTD touching many low-reuse pages, libquantum streaming,
+//! swaptions/fluidanimate being singleton-heavy with low MPKI).
+
+use std::fmt;
+
+/// Statistical description of one benchmark's memory behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Benchmark name (e.g. `"mcf"`).
+    pub name: &'static str,
+    /// Total data footprint, in 4KB pages.
+    pub footprint_pages: u64,
+    /// Zipf skew of page selection within the hot set (0 = uniform).
+    pub zipf_skew: f64,
+    /// Probability a page visit targets the hot (Zipf) set rather than
+    /// the cyclic cold stream.
+    pub hot_visit_frac: f64,
+    /// Mean 64B blocks touched per hot-set page visit (spatial density).
+    pub mean_blocks_per_visit: f64,
+    /// Mean blocks touched per cold-stream page visit; 1.0 models
+    /// singleton pages.
+    pub stream_blocks_per_visit: f64,
+    /// Size of the cold-stream region in pages, relative to the
+    /// footprint (>= 1.0). Larger values mean streamed pages are revisited
+    /// more rarely (more singletons / first-touch pages).
+    pub stream_region_factor: f64,
+    /// Mean consecutive references to one block before moving on
+    /// (the on-die L1/L2 filter; >= 1).
+    pub mean_repeats_per_block: f64,
+    /// Fraction of references that are writes.
+    pub write_frac: f64,
+    /// Mean non-memory instructions between references (memory
+    /// intensity: smaller gap = higher MPKI).
+    pub mean_gap_instrs: f64,
+}
+
+impl WorkloadProfile {
+    /// Footprint in megabytes.
+    pub fn footprint_mb(&self) -> f64 {
+        self.footprint_pages as f64 * 4096.0 / (1 << 20) as f64
+    }
+
+    /// Approximate memory references per kilo-instruction implied by the
+    /// gap parameter.
+    pub fn refs_per_kilo_instr(&self) -> f64 {
+        1000.0 / (self.mean_gap_instrs + 1.0)
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        if self.footprint_pages == 0 {
+            return Err(ProfileError("footprint must be non-empty"));
+        }
+        for (v, what) in [
+            (self.hot_visit_frac, "hot_visit_frac"),
+            (self.write_frac, "write_frac"),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ProfileError(what));
+            }
+        }
+        if self.zipf_skew < 0.0 || !self.zipf_skew.is_finite() {
+            return Err(ProfileError("zipf_skew"));
+        }
+        if self.mean_blocks_per_visit < 1.0 || self.mean_blocks_per_visit > 64.0 {
+            return Err(ProfileError("mean_blocks_per_visit"));
+        }
+        if self.stream_blocks_per_visit < 1.0 || self.stream_blocks_per_visit > 64.0 {
+            return Err(ProfileError("stream_blocks_per_visit"));
+        }
+        if self.stream_region_factor < 1.0 {
+            return Err(ProfileError("stream_region_factor"));
+        }
+        if self.mean_repeats_per_block < 1.0 {
+            return Err(ProfileError("mean_repeats_per_block"));
+        }
+        if self.mean_gap_instrs < 0.0 {
+            return Err(ProfileError("mean_gap_instrs"));
+        }
+        Ok(())
+    }
+}
+
+/// Error naming the invalid profile field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileError(&'static str);
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid workload profile field: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+const MB: u64 = 256; // pages per megabyte
+
+/// The 11 memory-bound SPEC CPU 2006 programs of the paper's Figure 7.
+pub const SPEC_NAMES: [&str; 11] = [
+    "mcf",
+    "milc",
+    "leslie3d",
+    "soplex",
+    "GemsFDTD",
+    "libquantum",
+    "lbm",
+    "omnetpp",
+    "sphinx3",
+    "bwaves",
+    "zeusmp",
+];
+
+/// The 4 PARSEC programs of §5.3.
+pub const PARSEC_NAMES: [&str; 4] = ["swaptions", "facesim", "fluidanimate", "streamcluster"];
+
+/// Table 5: the eight multi-programmed workload groupings.
+pub const MIXES: [(&str, [&str; 4]); 8] = [
+    ("MIX1", ["milc", "leslie3d", "omnetpp", "sphinx3"]),
+    ("MIX2", ["milc", "leslie3d", "soplex", "omnetpp"]),
+    ("MIX3", ["milc", "soplex", "GemsFDTD", "omnetpp"]),
+    ("MIX4", ["soplex", "GemsFDTD", "lbm", "omnetpp"]),
+    ("MIX5", ["mcf", "soplex", "GemsFDTD", "lbm"]),
+    ("MIX6", ["mcf", "leslie3d", "lbm", "sphinx3"]),
+    ("MIX7", ["milc", "soplex", "lbm", "sphinx3"]),
+    ("MIX8", ["mcf", "leslie3d", "GemsFDTD", "omnetpp"]),
+];
+
+/// Returns the profile for a SPEC benchmark by (case-insensitive) name.
+pub fn spec(name: &str) -> Option<&'static WorkloadProfile> {
+    spec_profiles()
+        .iter()
+        .find(|p| p.name.eq_ignore_ascii_case(name))
+}
+
+/// Returns the profile for a PARSEC benchmark by (case-insensitive) name.
+pub fn parsec(name: &str) -> Option<&'static WorkloadProfile> {
+    parsec_profiles()
+        .iter()
+        .find(|p| p.name.eq_ignore_ascii_case(name))
+}
+
+/// Returns the Table 5 mix (four SPEC profiles) by name, e.g. `"MIX3"`.
+pub fn mix(name: &str) -> Option<[&'static WorkloadProfile; 4]> {
+    let (_, names) = MIXES.iter().find(|(n, _)| n.eq_ignore_ascii_case(name))?;
+    Some(names.map(|n| spec(n).expect("mix references known benchmark")))
+}
+
+/// All 11 SPEC profiles.
+pub fn spec_profiles() -> &'static [WorkloadProfile; 11] {
+    &SPEC
+}
+
+/// All 4 PARSEC profiles.
+pub fn parsec_profiles() -> &'static [WorkloadProfile; 4] {
+    &PARSEC
+}
+
+static SPEC: [WorkloadProfile; 11] = [
+    // 429.mcf: pointer-chasing over a sparse graph; the largest touched
+    // working set per slice, highest MPKI, poor spatial locality.
+    WorkloadProfile {
+        name: "mcf",
+        footprint_pages: 300 * MB,
+        zipf_skew: 0.95,
+        hot_visit_frac: 0.92,
+        mean_blocks_per_visit: 2.0,
+        stream_blocks_per_visit: 1.5,
+        stream_region_factor: 1.0,
+        mean_repeats_per_block: 1.5,
+        write_frac: 0.20,
+        mean_gap_instrs: 22.0,
+    },
+    // 433.milc: lattice QCD; large slice working set with a substantial
+    // low-reuse sweep component — one of the two programs with a large
+    // gap from Ideal (Fig. 7).
+    WorkloadProfile {
+        name: "milc",
+        footprint_pages: 250 * MB,
+        zipf_skew: 0.75,
+        hot_visit_frac: 0.85,
+        mean_blocks_per_visit: 8.0,
+        stream_blocks_per_visit: 6.0,
+        stream_region_factor: 1.2,
+        mean_repeats_per_block: 1.5,
+        write_frac: 0.30,
+        mean_gap_instrs: 24.0,
+    },
+    // 437.leslie3d: structured-grid CFD; streaming with strong spatial
+    // locality, working set fits the cache easily.
+    WorkloadProfile {
+        name: "leslie3d",
+        footprint_pages: 80 * MB,
+        zipf_skew: 0.95,
+        hot_visit_frac: 0.85,
+        mean_blocks_per_visit: 16.0,
+        stream_blocks_per_visit: 12.0,
+        stream_region_factor: 1.0,
+        mean_repeats_per_block: 2.0,
+        write_frac: 0.30,
+        mean_gap_instrs: 30.0,
+    },
+    // 450.soplex: sparse LP solver; mixed regular/irregular.
+    WorkloadProfile {
+        name: "soplex",
+        footprint_pages: 130 * MB,
+        zipf_skew: 1.00,
+        hot_visit_frac: 0.88,
+        mean_blocks_per_visit: 6.0,
+        stream_blocks_per_visit: 3.0,
+        stream_region_factor: 1.15,
+        mean_repeats_per_block: 1.5,
+        write_frac: 0.25,
+        mean_gap_instrs: 26.0,
+    },
+    // 459.GemsFDTD: FDTD over multiple large arrays; big working set
+    // and a large fraction of pages with little reuse (paper §5.1/§5.4)
+    // — the non-cacheable case-study target.
+    WorkloadProfile {
+        name: "GemsFDTD",
+        footprint_pages: 400 * MB,
+        zipf_skew: 0.60,
+        hot_visit_frac: 0.96,
+        mean_blocks_per_visit: 10.0,
+        stream_blocks_per_visit: 1.5,
+        stream_region_factor: 2.6,
+        mean_repeats_per_block: 1.5,
+        write_frac: 0.35,
+        mean_gap_instrs: 20.0,
+    },
+    // 462.libquantum: repeated streaming over one ~100MB vector; extreme
+    // spatial locality, fully cache-resident — the biggest tagless
+    // latency win (Fig. 8).
+    WorkloadProfile {
+        name: "libquantum",
+        footprint_pages: 96 * MB,
+        zipf_skew: 0.20,
+        hot_visit_frac: 1.00,
+        mean_blocks_per_visit: 48.0,
+        stream_blocks_per_visit: 32.0,
+        stream_region_factor: 1.0,
+        mean_repeats_per_block: 1.5,
+        write_frac: 0.25,
+        mean_gap_instrs: 16.0,
+    },
+    // 470.lbm: lattice-Boltzmann; dense streaming, write-heavy.
+    WorkloadProfile {
+        name: "lbm",
+        footprint_pages: 160 * MB,
+        zipf_skew: 0.55,
+        hot_visit_frac: 0.80,
+        mean_blocks_per_visit: 32.0,
+        stream_blocks_per_visit: 24.0,
+        stream_region_factor: 1.0,
+        mean_repeats_per_block: 1.5,
+        write_frac: 0.45,
+        mean_gap_instrs: 18.0,
+    },
+    // 471.omnetpp: discrete-event simulation; small random objects, low
+    // spatial density, strong page reuse.
+    WorkloadProfile {
+        name: "omnetpp",
+        footprint_pages: 100 * MB,
+        zipf_skew: 0.95,
+        hot_visit_frac: 0.95,
+        mean_blocks_per_visit: 2.0,
+        stream_blocks_per_visit: 1.0,
+        stream_region_factor: 1.25,
+        mean_repeats_per_block: 2.0,
+        write_frac: 0.35,
+        mean_gap_instrs: 20.0,
+    },
+    // 482.sphinx3: speech recognition; read-dominated scoring loops with
+    // good reuse.
+    WorkloadProfile {
+        name: "sphinx3",
+        footprint_pages: 80 * MB,
+        zipf_skew: 1.05,
+        hot_visit_frac: 0.92,
+        mean_blocks_per_visit: 4.0,
+        stream_blocks_per_visit: 2.0,
+        stream_region_factor: 1.3,
+        mean_repeats_per_block: 2.5,
+        write_frac: 0.10,
+        mean_gap_instrs: 30.0,
+    },
+    // 410.bwaves: blast-wave CFD; big streaming arrays.
+    WorkloadProfile {
+        name: "bwaves",
+        footprint_pages: 200 * MB,
+        zipf_skew: 0.70,
+        hot_visit_frac: 0.80,
+        mean_blocks_per_visit: 24.0,
+        stream_blocks_per_visit: 16.0,
+        stream_region_factor: 1.1,
+        mean_repeats_per_block: 1.5,
+        write_frac: 0.30,
+        mean_gap_instrs: 22.0,
+    },
+    // 434.zeusmp: astrophysics CFD; structured grid, moderate intensity.
+    WorkloadProfile {
+        name: "zeusmp",
+        footprint_pages: 140 * MB,
+        zipf_skew: 0.80,
+        hot_visit_frac: 0.85,
+        mean_blocks_per_visit: 16.0,
+        stream_blocks_per_visit: 8.0,
+        stream_region_factor: 1.1,
+        mean_repeats_per_block: 2.0,
+        write_frac: 0.30,
+        mean_gap_instrs: 28.0,
+    },
+];
+
+static PARSEC: [WorkloadProfile; 4] = [
+    // swaptions: tiny cache-resident working set, large singleton
+    // fraction, very low MPKI — caching overhead can outweigh benefit
+    // (paper §5.3).
+    WorkloadProfile {
+        name: "swaptions",
+        footprint_pages: 6 * MB,
+        zipf_skew: 1.20,
+        hot_visit_frac: 0.70,
+        mean_blocks_per_visit: 4.0,
+        stream_blocks_per_visit: 1.0,
+        stream_region_factor: 40.0,
+        mean_repeats_per_block: 6.0,
+        write_frac: 0.20,
+        mean_gap_instrs: 180.0,
+    },
+    // facesim: physics solve; high page reuse and high MPKI — clear
+    // tagless winner on EDP (Fig. 12).
+    WorkloadProfile {
+        name: "facesim",
+        footprint_pages: 200 * MB,
+        zipf_skew: 0.95,
+        hot_visit_frac: 0.90,
+        mean_blocks_per_visit: 8.0,
+        stream_blocks_per_visit: 4.0,
+        stream_region_factor: 1.3,
+        mean_repeats_per_block: 1.5,
+        write_frac: 0.30,
+        mean_gap_instrs: 22.0,
+    },
+    // fluidanimate: particle simulation; many singleton pages, low MPKI
+    // for the simulated slices.
+    WorkloadProfile {
+        name: "fluidanimate",
+        footprint_pages: 100 * MB,
+        zipf_skew: 0.70,
+        hot_visit_frac: 0.80,
+        mean_blocks_per_visit: 3.0,
+        stream_blocks_per_visit: 1.0,
+        stream_region_factor: 3.0,
+        mean_repeats_per_block: 3.0,
+        write_frac: 0.35,
+        mean_gap_instrs: 130.0,
+    },
+    // streamcluster: repeated scans of a point set; highest page reuse
+    // and MPKI of the four — the paper's best PARSEC result (+24.0% IPC
+    // over no cache).
+    WorkloadProfile {
+        name: "streamcluster",
+        footprint_pages: 100 * MB,
+        zipf_skew: 0.30,
+        hot_visit_frac: 0.97,
+        mean_blocks_per_visit: 32.0,
+        stream_blocks_per_visit: 16.0,
+        stream_region_factor: 1.0,
+        mean_repeats_per_block: 1.5,
+        write_frac: 0.15,
+        mean_gap_instrs: 14.0,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for p in spec_profiles().iter().chain(parsec_profiles().iter()) {
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_case_insensitive() {
+        assert_eq!(spec("MCF").unwrap().name, "mcf");
+        assert_eq!(spec("gemsfdtd").unwrap().name, "GemsFDTD");
+        assert!(spec("perlbench").is_none());
+        assert_eq!(parsec("FACESIM").unwrap().name, "facesim");
+    }
+
+    #[test]
+    fn table5_mixes_resolve() {
+        for (name, _) in MIXES {
+            let four = mix(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(four.len(), 4);
+        }
+        // Table 5 row check: MIX5 = mcf-soplex-GemsFDTD-lbm.
+        let m5 = mix("MIX5").unwrap();
+        let names: Vec<_> = m5.iter().map(|p| p.name).collect();
+        assert_eq!(names, ["mcf", "soplex", "GemsFDTD", "lbm"]);
+    }
+
+    #[test]
+    fn spec_names_match_profiles() {
+        for n in SPEC_NAMES {
+            assert!(spec(n).is_some(), "{n} missing profile");
+        }
+        for n in PARSEC_NAMES {
+            assert!(parsec(n).is_some(), "{n} missing profile");
+        }
+    }
+
+    #[test]
+    fn footprints_are_plausible() {
+        // Footprints model the working set touched by a Simpoint slice:
+        // every single program fits the 1GB cache, but a 4-program mix
+        // exceeds it (paper §5.2: "multi-programmed workloads quadruple
+        // the memory footprint"), which is what creates the Fig. 9/10
+        // contention.
+        for p in spec_profiles() {
+            assert!(p.footprint_mb() < 1024.0, "{} too big", p.name);
+        }
+        assert!(spec("libquantum").unwrap().footprint_mb() < 256.0);
+        // Including the cold-stream regions, a mix's touched space
+        // exceeds the cache, which is what creates the contention.
+        let touched: f64 = mix("MIX5")
+            .unwrap()
+            .iter()
+            .map(|p| p.footprint_mb() * p.stream_region_factor)
+            .sum();
+        assert!(touched > 1024.0, "MIX5 touches {touched} MB, must exceed cache");
+    }
+
+    #[test]
+    fn memory_intensity_ordering() {
+        // streamcluster is the most intense PARSEC; swaptions the least.
+        let sc = parsec("streamcluster").unwrap().refs_per_kilo_instr();
+        let sw = parsec("swaptions").unwrap().refs_per_kilo_instr();
+        assert!(sc > 5.0 * sw);
+    }
+}

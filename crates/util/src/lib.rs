@@ -1,0 +1,36 @@
+//! Deterministic foundations for the tagless DRAM cache simulator.
+//!
+//! This crate provides the small, dependency-free substrate the rest of the
+//! workspace is built on:
+//!
+//! * [`rng`] — seedable, splittable pseudo-random number generators
+//!   (SplitMix64 and PCG32). The simulator deliberately does not use the
+//!   `rand` crate: every simulated workload must be exactly reproducible
+//!   from a single `u64` seed, across crate versions.
+//! * [`dist`] — the distributions the workload generators need (uniform,
+//!   Zipf, geometric, Bernoulli, weighted choice).
+//! * [`stats`] — streaming statistics (mean/variance via Welford),
+//!   histograms, and geometric means used by the experiment reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use tdc_util::rng::Pcg32;
+//! use tdc_util::dist::Zipf;
+//!
+//! let mut rng = Pcg32::seed_from_u64(42);
+//! let zipf = Zipf::new(1000, 0.8).expect("valid parameters");
+//! let rank = zipf.sample(&mut rng);
+//! assert!(rank < 1000);
+//! ```
+
+pub mod dist;
+pub mod mem;
+pub mod rng;
+pub mod stats;
+
+pub use dist::{Bernoulli, Geometric, Uniform, WeightedIndex, Zipf};
+pub use mem::{CAddr, Cpn, Cycle, PAddr, Ppn, VAddr, Vpn};
+pub use mem::{BLOCKS_PER_PAGE, BLOCK_SHIFT, BLOCK_SIZE, PAGE_SHIFT, PAGE_SIZE};
+pub use rng::{Pcg32, Rng, SplitMix64};
+pub use stats::{geomean, Histogram, RunningStats};

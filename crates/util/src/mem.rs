@@ -1,0 +1,164 @@
+//! Shared memory-system domain types: addresses, page/block geometry.
+//!
+//! The whole workspace distinguishes three address spaces, following the
+//! paper's terminology:
+//!
+//! * **virtual** addresses ([`VAddr`]) — what the program issues;
+//! * **physical** addresses ([`PAddr`]) — off-package DRAM locations;
+//! * **cache** addresses ([`CAddr`]) — locations inside the in-package
+//!   DRAM cache. The tagless design's whole point is that the cTLB
+//!   translates virtual addresses *directly* to cache addresses.
+//!
+//! Newtypes keep these from being mixed up at compile time (a bug class
+//! that is otherwise very easy to hit in a cache simulator).
+
+use std::fmt;
+
+/// Cache line size used by the on-die SRAM caches, in bytes.
+pub const BLOCK_SIZE: u64 = 64;
+/// OS page size, which is also the DRAM-cache caching granularity.
+pub const PAGE_SIZE: u64 = 4096;
+/// Number of 64-byte blocks in a 4KB page.
+pub const BLOCKS_PER_PAGE: u64 = PAGE_SIZE / BLOCK_SIZE;
+/// log2 of [`BLOCK_SIZE`].
+pub const BLOCK_SHIFT: u32 = 6;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Simulated time, in CPU cycles (the paper models a 3 GHz CPU).
+pub type Cycle = u64;
+
+macro_rules! addr_newtype {
+    ($(#[$doc:meta])* $name:ident, $(#[$pndoc:meta])* $pn:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// The page number this address falls in.
+            pub fn page(self) -> $pn {
+                $pn(self.0 >> PAGE_SHIFT)
+            }
+
+            /// The byte offset within the page.
+            pub fn page_offset(self) -> u64 {
+                self.0 & (PAGE_SIZE - 1)
+            }
+
+            /// The 64-byte block index within the page (`0..64`).
+            pub fn block_in_page(self) -> u64 {
+                self.page_offset() >> BLOCK_SHIFT
+            }
+
+            /// The address rounded down to its 64-byte block.
+            pub fn block_aligned(self) -> $name {
+                $name(self.0 & !(BLOCK_SIZE - 1))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        $(#[$pndoc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $pn(pub u64);
+
+        impl $pn {
+            /// The base address of this page.
+            pub fn base(self) -> $name {
+                $name(self.0 << PAGE_SHIFT)
+            }
+
+            /// The address of byte `offset` within this page.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `offset >= PAGE_SIZE`.
+            pub fn addr(self, offset: u64) -> $name {
+                assert!(offset < PAGE_SIZE, "page offset out of range");
+                $name((self.0 << PAGE_SHIFT) | offset)
+            }
+        }
+
+        impl fmt::Display for $pn {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}:{:#x}", stringify!($pn), self.0)
+            }
+        }
+    };
+}
+
+addr_newtype!(
+    /// A virtual address.
+    VAddr,
+    /// A virtual page number.
+    Vpn
+);
+addr_newtype!(
+    /// A physical (off-package DRAM) address.
+    PAddr,
+    /// A physical page number.
+    Ppn
+);
+addr_newtype!(
+    /// A cache (in-package DRAM) address.
+    CAddr,
+    /// A cache page number — the index of a 4KB frame ("cache block" in
+    /// the paper's terms) inside the in-package DRAM cache.
+    Cpn
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_and_offset_roundtrip() {
+        let a = VAddr(0x1234_5678);
+        assert_eq!(a.page(), Vpn(0x1234_5678 >> 12));
+        assert_eq!(a.page().addr(a.page_offset()), a);
+    }
+
+    #[test]
+    fn block_in_page_ranges() {
+        let p = Ppn(7);
+        assert_eq!(p.addr(0).block_in_page(), 0);
+        assert_eq!(p.addr(63).block_in_page(), 0);
+        assert_eq!(p.addr(64).block_in_page(), 1);
+        assert_eq!(p.addr(4095).block_in_page(), 63);
+    }
+
+    #[test]
+    fn block_aligned_masks_low_bits() {
+        assert_eq!(CAddr(0x1fff).block_aligned(), CAddr(0x1fc0));
+        assert_eq!(CAddr(0x1fc0).block_aligned(), CAddr(0x1fc0));
+    }
+
+    #[test]
+    #[should_panic(expected = "offset out of range")]
+    fn page_addr_rejects_big_offset() {
+        let _ = Vpn(0).addr(PAGE_SIZE);
+    }
+
+    #[test]
+    fn geometry_constants_consistent() {
+        assert_eq!(1u64 << BLOCK_SHIFT, BLOCK_SIZE);
+        assert_eq!(1u64 << PAGE_SHIFT, PAGE_SIZE);
+        assert_eq!(BLOCKS_PER_PAGE, 64);
+    }
+
+    #[test]
+    fn newtypes_format_as_hex() {
+        assert_eq!(format!("{}", VAddr(255)), "0xff");
+        assert_eq!(format!("{:x}", PAddr(255)), "ff");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the RNG, distributions, and statistics.
+
+use proptest::prelude::*;
+use tdc_util::{geomean, Pcg32, Rng, RunningStats, Uniform, WeightedIndex, Zipf};
+
+proptest! {
+    #[test]
+    fn gen_range_always_below_bound(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.gen_range(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn pcg_is_reproducible(seed in any::<u64>()) {
+        let mut a = Pcg32::seed_from_u64(seed);
+        let mut b = Pcg32::seed_from_u64(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_within_range(seed in any::<u64>(), lo in 0u64..1_000_000, span in 1u64..1_000_000) {
+        let u = Uniform::new(lo, lo + span).unwrap();
+        let mut rng = Pcg32::seed_from_u64(seed);
+        for _ in 0..32 {
+            let x = u.sample(&mut rng);
+            prop_assert!(x >= lo && x < lo + span);
+        }
+    }
+
+    #[test]
+    fn zipf_within_support(seed in any::<u64>(), n in 1u64..1_000_000, s in 0.0f64..3.0) {
+        let z = Zipf::new(n, s).unwrap();
+        let mut rng = Pcg32::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn weighted_index_within_support(
+        seed in any::<u64>(),
+        weights in prop::collection::vec(0.0f64..10.0, 1..20),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let w = WeightedIndex::new(&weights).unwrap();
+        let mut rng = Pcg32::seed_from_u64(seed);
+        for _ in 0..32 {
+            let i = w.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "drew a zero-weight index {}", i);
+        }
+    }
+
+    #[test]
+    fn running_stats_mean_bounded_by_min_max(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mean = s.mean();
+        prop_assert!(mean >= s.min().unwrap() - 1e-9);
+        prop_assert!(mean <= s.max().unwrap() + 1e-9);
+        prop_assert!(s.variance() >= 0.0);
+    }
+
+    #[test]
+    fn running_stats_merge_matches_sequential(
+        a in prop::collection::vec(-1e3f64..1e3, 0..50),
+        b in prop::collection::vec(-1e3f64..1e3, 0..50),
+    ) {
+        let mut merged = RunningStats::new();
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &a {
+            merged.push(x);
+            left.push(x);
+        }
+        for &x in &b {
+            merged.push(x);
+            right.push(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), merged.count());
+        prop_assert!((left.mean() - merged.mean()).abs() < 1e-6);
+        prop_assert!((left.variance() - merged.variance()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn geomean_between_min_and_max(xs in prop::collection::vec(1e-3f64..1e6, 1..50)) {
+        let g = geomean(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= lo * (1.0 - 1e-9));
+        prop_assert!(g <= hi * (1.0 + 1e-9));
+    }
+}

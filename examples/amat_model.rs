@@ -1,0 +1,59 @@
+//! Explores the paper's analytic AMAT model (Equations 1–5): where does
+//! the tagless advantage come from, and when would it disappear?
+//!
+//! ```sh
+//! cargo run --release --example amat_model
+//! ```
+
+use tagless_dram_cache::prelude::*;
+
+fn main() {
+    let base = AmatInputs::paper_representative();
+
+    println!("paper-representative operating point:");
+    println!(
+        "  AMAT_SRAM-tag = {:.2} cycles (Eq. 1-3)",
+        AmatModel::amat_sram_tag(&base)
+    );
+    println!(
+        "  AMAT_Tagless  = {:.2} cycles (Eq. 4-5)\n",
+        AmatModel::amat_tagless(&base)
+    );
+
+    println!("sensitivity to the SRAM tag latency (Table 6 column):");
+    for tag in [5.0, 6.0, 9.0, 11.0, 13.0, 15.0] {
+        let mut i = base;
+        i.access_time_sram_tag = tag;
+        println!(
+            "  tag={tag:>4.0} cyc: SRAM-tag {:.2}, tagless {:.2} ({:+.1}%)",
+            AmatModel::amat_sram_tag(&i),
+            AmatModel::amat_tagless(&i),
+            (AmatModel::amat_tagless(&i) / AmatModel::amat_sram_tag(&i) - 1.0) * 100.0
+        );
+    }
+
+    println!("\nsensitivity to the victim-miss rate (Eq. 5):");
+    for v in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut i = base;
+        i.miss_rate_victim = v;
+        println!(
+            "  victim-miss={v:.2}: cTLB miss penalty {:.1} cycles, AMAT {:.2}",
+            AmatModel::miss_penalty_ctlb(&i),
+            AmatModel::amat_tagless(&i)
+        );
+    }
+
+    println!("\ncrossover: how high must the TLB miss rate climb before the");
+    println!("tagless design loses its advantage (fills are charged to the cTLB");
+    println!("miss penalty, Eq. 5, while the SRAM-tag walk is cheap)?");
+    for m in [0.005, 0.01, 0.02, 0.05, 0.1, 0.2] {
+        let mut i = base;
+        i.miss_rate_tlb = m;
+        let s = AmatModel::amat_sram_tag(&i);
+        let t = AmatModel::amat_tagless(&i);
+        println!(
+            "  TLB miss rate {m:>5.3}: SRAM-tag {s:>6.2}, tagless {t:>6.2} -> {}",
+            if t < s { "tagless wins" } else { "SRAM-tag wins" }
+        );
+    }
+}

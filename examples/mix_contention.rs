@@ -1,0 +1,58 @@
+//! Multi-programmed contention study: runs a Table 5 mix on four cores
+//! and shows how the fully associative tagless cache behaves under
+//! capacity pressure — victim hits, fills, evictions, and per-core
+//! slowdowns — versus the 16-way SRAM-tag baseline.
+//!
+//! ```sh
+//! cargo run --release --example mix_contention [MIX1..MIX8] [cache MB]
+//! ```
+
+use tagless_dram_cache::prelude::*;
+
+fn main() {
+    let mix = std::env::args().nth(1).unwrap_or_else(|| "MIX5".to_string());
+    let cache_mb: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+    let cfg = RunConfig::quick(7).with_cache_bytes(cache_mb << 20);
+
+    let Some(names) = profiles::mix(&mix) else {
+        eprintln!("unknown mix '{mix}'; use MIX1..MIX8");
+        std::process::exit(1);
+    };
+    println!(
+        "{mix} = {} on a {}MB DRAM cache\n",
+        names.map(|p| p.name).join("-"),
+        cache_mb
+    );
+
+    let base = run_mix(&mix, OrgKind::NoL3, &cfg).expect("mix validated above");
+    for org in [OrgKind::SramTag, OrgKind::Tagless] {
+        let r = run_mix(&mix, org, &cfg).expect("mix validated above");
+        println!(
+            "{}: normalized IPC {:.3}, in-package fraction {:.3}",
+            r.org,
+            r.normalized_ipc(&base),
+            r.in_package_fraction()
+        );
+        println!(
+            "  fills={} evictions={} dirty writebacks={} victim hits={}",
+            r.l3.page_fills, r.l3.page_evictions, r.l3.dirty_page_writebacks, r.l3.case_miss_hit
+        );
+        for (i, (c, p)) in r.cores.iter().zip(names.iter()).enumerate() {
+            println!(
+                "  core{i} ({:<10}) ipc={:.3} l2-miss mpki={:.1} tlb stall={} cycles",
+                p.name,
+                c.ipc,
+                c.l2_misses as f64 * 1000.0 / c.instrs.max(1) as f64,
+                c.tlb_penalty
+            );
+        }
+        println!();
+    }
+    println!(
+        "Try `cargo run --release --example mix_contention {mix} 256` to see the\n\
+         Fig. 10 small-cache regime where page migration thrashes both designs."
+    );
+}

@@ -1,0 +1,45 @@
+//! Multi-threaded workloads: four threads of one process share a page
+//! table, so a page cached by one thread is an in-package victim hit for
+//! the others, and the PU bit suppresses duplicate fills when two
+//! threads fault on the same page concurrently (paper §3.5).
+//!
+//! ```sh
+//! cargo run --release --example parsec_shared [benchmark]
+//! ```
+
+use tagless_dram_cache::prelude::*;
+
+fn main() {
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "streamcluster".to_string());
+    let cfg = RunConfig::quick(23);
+
+    let Some(base) = run_parsec(&bench, OrgKind::NoL3, &cfg) else {
+        eprintln!(
+            "unknown benchmark '{bench}'; choose one of {:?}",
+            tagless_dram_cache::trace::PARSEC_NAMES
+        );
+        std::process::exit(1);
+    };
+    let r = run_parsec(&bench, OrgKind::Tagless, &cfg).expect("benchmark validated above");
+
+    println!("{bench}: 4 threads, one address space, tagless DRAM cache\n");
+    println!(
+        "normalized IPC {:.3}   normalized EDP {:.3}",
+        r.normalized_ipc(&base),
+        r.normalized_edp(&base)
+    );
+    println!(
+        "page fills {}   victim hits {}   PU-suppressed duplicate fills {}",
+        r.l3.page_fills, r.l3.case_miss_hit, r.l3.pu_suppressed_fills
+    );
+    println!(
+        "fills per 1000 references: {:.2}  (threads share fills: one copy serves all four)",
+        r.l3.page_fills as f64 * 1000.0
+            / r.cores.iter().map(|c| c.refs).sum::<u64>().max(1) as f64
+    );
+    for (i, c) in r.cores.iter().enumerate() {
+        println!("thread {i}: ipc={:.3} refs={}", c.ipc, c.refs);
+    }
+}

@@ -1,0 +1,131 @@
+//! End-to-end integration tests: full simulations across crate
+//! boundaries (trace → TLB → on-die caches → DRAM cache → DRAM).
+
+use tagless_dram_cache::prelude::*;
+
+fn cfg() -> RunConfig {
+    RunConfig {
+        seed: 99,
+        cache_bytes: 1 << 30,
+        warmup_refs: 40_000,
+        measured_refs: 80_000,
+    }
+}
+
+#[test]
+fn every_org_runs_every_workload_class() {
+    let cfg = cfg();
+    for org in OrgKind::MAIN {
+        let s = run_single("sphinx3", org, &cfg).expect("known benchmark");
+        assert!(s.ipc_total() > 0.0, "{}: zero IPC", s.org);
+        let m = run_mix("MIX1", org, &cfg).expect("known mix");
+        assert_eq!(m.cores.len(), 4);
+        let p = run_parsec("swaptions", org, &cfg).expect("known benchmark");
+        assert_eq!(p.cores.len(), 4);
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let cfg = cfg();
+    let a = run_single("omnetpp", OrgKind::Tagless, &cfg).expect("known benchmark");
+    let b = run_single("omnetpp", OrgKind::Tagless, &cfg).expect("known benchmark");
+    assert_eq!(a.ipc_total(), b.ipc_total());
+    assert_eq!(a.l3.page_fills, b.l3.page_fills);
+    assert_eq!(a.makespan_cycles(), b.makespan_cycles());
+    assert_eq!(a.energy.total_j, b.energy.total_j);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_single("omnetpp", OrgKind::Tagless, &cfg()).expect("known benchmark");
+    let mut cfg2 = cfg();
+    cfg2.seed = 100;
+    let b = run_single("omnetpp", OrgKind::Tagless, &cfg2).expect("known benchmark");
+    assert_ne!(a.makespan_cycles(), b.makespan_cycles());
+}
+
+#[test]
+fn ideal_dominates_no_l3() {
+    let cfg = cfg();
+    for bench in ["milc", "lbm", "libquantum"] {
+        let base = run_single(bench, OrgKind::NoL3, &cfg).expect("known benchmark");
+        let ideal = run_single(bench, OrgKind::Ideal, &cfg).expect("known benchmark");
+        assert!(
+            ideal.normalized_ipc(&base) > 1.0,
+            "{bench}: ideal {} <= baseline",
+            ideal.ipc_total()
+        );
+        assert!(ideal.avg_l3_latency() < base.avg_l3_latency());
+    }
+}
+
+#[test]
+fn tagless_serves_resident_working_set_in_package() {
+    // libquantum's working set fits the cache: after warmup every demand
+    // read must come from in-package DRAM (the TLB-hit => cache-hit
+    // guarantee plus victim hits).
+    let r = run_single("libquantum", OrgKind::Tagless, &cfg()).expect("known benchmark");
+    assert!(
+        r.in_package_fraction() > 0.999,
+        "only {:.4} in-package",
+        r.in_package_fraction()
+    );
+}
+
+#[test]
+fn sram_tag_probes_every_access() {
+    let r = run_single("milc", OrgKind::SramTag, &cfg()).expect("known benchmark");
+    // Every demand read and every L2 writeback probes the tag array.
+    assert_eq!(r.l3.tag_probes, r.l3.demand_reads + r.l3.writebacks_in);
+    assert!(r.l3.tag_energy_pj > 0.0);
+}
+
+#[test]
+fn bank_interleave_hits_one_ninth_in_package() {
+    let r = run_mix("MIX2", OrgKind::BankInterleave, &cfg()).expect("known mix");
+    let f = r.in_package_fraction();
+    assert!(
+        (f - 1.0 / 9.0).abs() < 0.03,
+        "BI in-package fraction {f:.3} far from 1/9"
+    );
+}
+
+#[test]
+fn energy_breakdown_is_consistent() {
+    let r = run_mix("MIX6", OrgKind::Tagless, &cfg()).expect("known mix");
+    let e = &r.energy;
+    assert!(e.total_j > 0.0);
+    assert!(
+        (e.total_j - (e.core_j + e.sram_j + e.dram_j + e.static_j)).abs() < 1e-12,
+        "components must sum to total"
+    );
+    assert!((e.edp - e.total_j * e.seconds).abs() < 1e-12);
+}
+
+#[test]
+fn mpki_reflects_memory_boundedness() {
+    let cfg = cfg();
+    let heavy = run_single("lbm", OrgKind::NoL3, &cfg).expect("known benchmark");
+    let light = run_single("sphinx3", OrgKind::NoL3, &cfg).expect("known benchmark");
+    assert!(
+        heavy.mpki() > 2.0 * light.mpki(),
+        "lbm {:.1} vs sphinx3 {:.1}",
+        heavy.mpki(),
+        light.mpki()
+    );
+}
+
+#[test]
+fn non_cacheable_study_reduces_fills() {
+    let cfg = cfg();
+    let plain = run_single("GemsFDTD", OrgKind::Tagless, &cfg).expect("known benchmark");
+    let nc = run_single_tagless_nc("GemsFDTD", &cfg, 32).expect("known benchmark");
+    assert!(
+        nc.l3.page_fills < plain.l3.page_fills,
+        "NC flags must reduce fills: {} vs {}",
+        nc.l3.page_fills,
+        plain.l3.page_fills
+    );
+    assert!(nc.l3.case_hit_miss > 0, "NC pages must show (Hit, Miss) accesses");
+}

@@ -1,0 +1,192 @@
+//! Shape tests: quick-scale versions of the paper's qualitative claims.
+//! These use short runs with loose thresholds, so they check *direction*
+//! (who wins, where) rather than magnitude; the bench harnesses check
+//! magnitude at full scale.
+
+use tagless_dram_cache::prelude::*;
+use tagless_dram_cache::util::geomean;
+
+fn cfg() -> RunConfig {
+    // Long enough to reach steady state (the DRAM cache must warm up
+    // before the paper's comparisons hold); these are the slowest tests
+    // in the suite.
+    RunConfig {
+        seed: 2015,
+        cache_bytes: 1 << 30,
+        warmup_refs: 500_000,
+        measured_refs: 700_000,
+    }
+}
+
+#[test]
+fn single_programmed_ordering_matches_fig7() {
+    // Geomean over a representative subset: Ideal > cTLB > SRAM > BI > 1.
+    let cfg = cfg();
+    let benches = ["milc", "libquantum", "lbm", "bwaves"];
+    let mut g = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for b in benches {
+        let base = run_single(b, OrgKind::NoL3, &cfg).expect("known benchmark");
+        for (i, org) in [
+            OrgKind::BankInterleave,
+            OrgKind::SramTag,
+            OrgKind::Tagless,
+            OrgKind::Ideal,
+        ]
+        .iter()
+        .enumerate()
+        {
+            g[i].push(
+                run_single(b, *org, &cfg)
+                    .expect("known benchmark")
+                    .normalized_ipc(&base),
+            );
+        }
+    }
+    let [bi, sram, ctlb, ideal] = g.map(|v| geomean(&v));
+    assert!(bi > 1.0, "BI {bi:.3} must beat the baseline");
+    assert!(sram > bi, "SRAM {sram:.3} must beat BI {bi:.3}");
+    assert!(ctlb > sram, "cTLB {ctlb:.3} must beat SRAM {sram:.3}");
+    assert!(ideal >= ctlb * 0.98, "Ideal {ideal:.3} must bound cTLB {ctlb:.3}");
+}
+
+#[test]
+fn tagless_l3_latency_beats_sram_tag_fig8() {
+    let cfg = cfg();
+    let mut ratios = Vec::new();
+    for b in ["milc", "libquantum", "lbm", "soplex"] {
+        let sram = run_single(b, OrgKind::SramTag, &cfg).expect("known benchmark");
+        let ctlb = run_single(b, OrgKind::Tagless, &cfg).expect("known benchmark");
+        ratios.push(ctlb.avg_l3_latency() / sram.avg_l3_latency());
+    }
+    let g = geomean(&ratios);
+    assert!(
+        g < 0.98,
+        "tagless average L3 latency must be clearly lower (ratio {g:.3})"
+    );
+}
+
+#[test]
+fn mixes_favor_tagless_fig9() {
+    let cfg = cfg();
+    let mut sram_all = Vec::new();
+    let mut ctlb_all = Vec::new();
+    for m in ["MIX2", "MIX6"] {
+        let base = run_mix(m, OrgKind::NoL3, &cfg).expect("known mix");
+        sram_all.push(
+            run_mix(m, OrgKind::SramTag, &cfg)
+                .expect("known mix")
+                .normalized_ipc(&base),
+        );
+        ctlb_all.push(
+            run_mix(m, OrgKind::Tagless, &cfg)
+                .expect("known mix")
+                .normalized_ipc(&base),
+        );
+    }
+    let (s, t) = (geomean(&sram_all), geomean(&ctlb_all));
+    assert!(s > 1.05, "SRAM mixes {s:.3} must gain");
+    assert!(t > s * 0.99, "cTLB {t:.3} must at least match SRAM {s:.3}");
+}
+
+#[test]
+fn small_cache_thrashes_fig10() {
+    // At 256MB the page-based caches fall below bank interleaving; at
+    // 1GB the tagless cache is clearly ahead of BI.
+    let cfg = cfg();
+    let small = cfg.with_cache_bytes(256 << 20);
+    let bi_s = run_mix("MIX5", OrgKind::BankInterleave, &small).expect("known mix");
+    let ct_s = run_mix("MIX5", OrgKind::Tagless, &small).expect("known mix");
+    assert!(
+        ct_s.normalized_ipc(&bi_s) < 1.0,
+        "256MB tagless {:.3} should trail BI",
+        ct_s.normalized_ipc(&bi_s)
+    );
+    let bi_l = run_mix("MIX5", OrgKind::BankInterleave, &cfg).expect("known mix");
+    let ct_l = run_mix("MIX5", OrgKind::Tagless, &cfg).expect("known mix");
+    assert!(
+        ct_l.normalized_ipc(&bi_l) > 1.0,
+        "1GB tagless {:.3} should beat BI",
+        ct_l.normalized_ipc(&bi_l)
+    );
+}
+
+#[test]
+fn replacement_policy_barely_matters_fig11() {
+    let cfg = cfg();
+    let fifo = run_mix("MIX1", OrgKind::Tagless, &cfg).expect("known mix");
+    let lru = run_mix("MIX1", OrgKind::TaglessLru, &cfg).expect("known mix");
+    let ratio = lru.normalized_ipc(&fifo);
+    assert!(
+        (ratio - 1.0).abs() < 0.06,
+        "LRU/FIFO ratio {ratio:.3} should be near 1 (paper: +1.6%)"
+    );
+}
+
+#[test]
+fn parsec_extremes_match_fig12() {
+    let cfg = cfg();
+    // streamcluster: high reuse + high MPKI -> clear gain.
+    let base = run_parsec("streamcluster", OrgKind::NoL3, &cfg).expect("known benchmark");
+    let ctlb = run_parsec("streamcluster", OrgKind::Tagless, &cfg).expect("known benchmark");
+    assert!(
+        ctlb.normalized_ipc(&base) > 1.1,
+        "streamcluster gain {:.3} too small",
+        ctlb.normalized_ipc(&base)
+    );
+    // swaptions: cache-resident, low MPKI -> no meaningful gain.
+    let base = run_parsec("swaptions", OrgKind::NoL3, &cfg).expect("known benchmark");
+    let ctlb = run_parsec("swaptions", OrgKind::Tagless, &cfg).expect("known benchmark");
+    let n = ctlb.normalized_ipc(&base);
+    assert!(
+        (0.9..1.1).contains(&n),
+        "swaptions should be flat, got {n:.3}"
+    );
+}
+
+#[test]
+fn non_cacheable_helps_gems_fig13() {
+    let cfg = cfg();
+    let plain = run_single("GemsFDTD", OrgKind::Tagless, &cfg).expect("known benchmark");
+    let nc = run_single_tagless_nc("GemsFDTD", &cfg, 32).expect("known benchmark");
+    assert!(
+        nc.ipc_total() > plain.ipc_total(),
+        "NC pages must improve GemsFDTD ({:.3} vs {:.3})",
+        nc.ipc_total(),
+        plain.ipc_total()
+    );
+}
+
+#[test]
+fn edp_favors_tagless_over_sram() {
+    let cfg = cfg();
+    let mut ratios = Vec::new();
+    for b in ["milc", "lbm", "bwaves"] {
+        let base = run_single(b, OrgKind::NoL3, &cfg).expect("known benchmark");
+        let sram = run_single(b, OrgKind::SramTag, &cfg).expect("known benchmark");
+        let ctlb = run_single(b, OrgKind::Tagless, &cfg).expect("known benchmark");
+        ratios.push(ctlb.normalized_edp(&base) / sram.normalized_edp(&base));
+    }
+    assert!(
+        geomean(&ratios) < 1.0,
+        "tagless EDP must beat SRAM-tag (ratio {:.3})",
+        geomean(&ratios)
+    );
+}
+
+#[test]
+fn amat_model_brackets_measured_latencies() {
+    // The analytic Eq. 1-5 and the measured simulator agree on the sign
+    // and rough magnitude of the latency gap.
+    let i = AmatInputs::paper_representative();
+    let analytic_gap =
+        1.0 - AmatModel::amat_tagless(&i) / AmatModel::amat_sram_tag(&i);
+    assert!(analytic_gap > 0.0);
+    let cfg = cfg();
+    let sram = run_single("milc", OrgKind::SramTag, &cfg).expect("known benchmark");
+    let ctlb = run_single("milc", OrgKind::Tagless, &cfg).expect("known benchmark");
+    let measured_gap = 1.0 - ctlb.avg_l3_latency() / sram.avg_l3_latency();
+    assert!(
+        measured_gap > 0.0 && measured_gap < 0.5,
+        "measured latency gap {measured_gap:.3} out of plausible range"
+    );
+}

@@ -1,0 +1,113 @@
+//! Property-based integration tests: the full system must uphold its
+//! invariants for arbitrary workload shapes and seeds.
+
+use proptest::prelude::*;
+use tagless_dram_cache::prelude::*;
+use tagless_dram_cache::core::system::System;
+use tagless_dram_cache::trace::WorkloadProfile;
+
+fn arbitrary_profile() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        64u64..4096,          // footprint pages
+        0.0f64..1.5,          // zipf skew
+        0.0f64..=1.0,         // hot fraction
+        1.0f64..32.0,         // blocks per visit
+        1.0f64..8.0,          // stream blocks
+        1.0f64..4.0,          // stream region factor
+        1.0f64..4.0,          // repeats
+        0.0f64..=0.6,         // write fraction
+        0.0f64..100.0,        // gap
+    )
+        .prop_map(
+            |(fp, skew, hot, blocks, sblocks, sfactor, repeats, wfrac, gap)| WorkloadProfile {
+                name: "prop",
+                footprint_pages: fp,
+                zipf_skew: skew,
+                hot_visit_frac: hot,
+                mean_blocks_per_visit: blocks,
+                stream_blocks_per_visit: sblocks,
+                stream_region_factor: sfactor,
+                mean_repeats_per_block: repeats,
+                write_frac: wfrac,
+                mean_gap_instrs: gap,
+            },
+        )
+}
+
+fn small_params(cores: usize) -> SystemParams {
+    let mut p = SystemParams::with_cache_capacity(4 << 20);
+    p.cores = cores;
+    p.core_asid = (0..cores as u32).collect();
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn tagless_system_invariants_hold(profile in arbitrary_profile(), seed in any::<u64>()) {
+        let params = small_params(1);
+        let l3 = TaglessCache::new(&params, VictimPolicy::Fifo);
+        let trace: Box<dyn TraceSource> =
+            Box::new(SyntheticWorkload::new(profile, seed, 0));
+        let mut sys = System::new(Box::new(l3), vec![trace]);
+        let res = sys.run(2_000, 6_000);
+        let c = &res[0];
+        prop_assert_eq!(c.refs, 6_000);
+        prop_assert!(c.instrs >= c.refs);
+        prop_assert!(c.cycles > 0);
+        prop_assert!(c.ipc > 0.0 && c.ipc <= 4.0, "ipc {} out of range", c.ipc);
+
+        let s = sys.l3().stats();
+        // Demand reads can only come from L2 misses.
+        prop_assert_eq!(s.demand_reads, c.l2_misses);
+        // Every in-package read is a demand read.
+        prop_assert!(s.in_package_reads <= s.demand_reads);
+        // Average latency is sane (positive when reads exist).
+        if s.demand_reads > 0 {
+            prop_assert!(s.avg_demand_latency() > 0.0);
+        }
+        // Tagless never probes SRAM tags.
+        prop_assert_eq!(s.tag_probes, 0);
+        // Evictions never exceed fills.
+        prop_assert!(s.page_evictions <= s.page_fills);
+    }
+
+    #[test]
+    fn multicore_tagless_conserves_case_counts(seed in any::<u64>()) {
+        let params = small_params(2);
+        let l3 = TaglessCache::new(&params, VictimPolicy::Fifo);
+        let profile = profiles::spec("omnetpp").expect("known").clone();
+        let mut small = profile;
+        small.footprint_pages = 512;
+        let traces: Vec<Box<dyn TraceSource>> = (0..2)
+            .map(|i| -> Box<dyn TraceSource> {
+                Box::new(SyntheticWorkload::new(small.clone(), seed ^ i, 0))
+            })
+            .collect();
+        let mut sys = System::new(Box::new(l3), traces);
+        let res = sys.run(1_000, 4_000);
+        let s = sys.l3().stats();
+        let translations: u64 = res.iter().map(|c| c.refs).sum();
+        let cases = s.case_hit_hit + s.case_hit_miss + s.case_miss_hit + s.case_miss_miss;
+        prop_assert_eq!(cases, translations);
+    }
+
+    #[test]
+    fn all_organizations_agree_on_work_done(seed in any::<u64>()) {
+        // Same trace through every organization: identical instruction
+        // counts and reference counts (timing differs, work does not).
+        let mut profile = profiles::spec("sphinx3").expect("known").clone();
+        profile.footprint_pages = 1024;
+        let mut instrs = Vec::new();
+        for org in OrgKind::MAIN {
+            let params = small_params(1);
+            let trace: Box<dyn TraceSource> =
+                Box::new(SyntheticWorkload::new(profile.clone(), seed, 0));
+            let mut sys = System::new(org.build(&params), vec![trace]);
+            let res = sys.run(500, 2_000);
+            instrs.push(res[0].instrs);
+        }
+        prop_assert!(instrs.windows(2).all(|w| w[0] == w[1]), "{instrs:?}");
+    }
+}
