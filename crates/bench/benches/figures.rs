@@ -1,35 +1,10 @@
 //! Regenerates every figure and table of the paper's evaluation section
-//! in one pass (`cargo bench -p tdc-bench --bench figures`).
+//! in one pass (`cargo bench -p tdc-bench --bench figures`) — the same
+//! code path as `tdc all`: one shared result cache, all CPUs, JSON
+//! artifacts under `results/`.
 //!
 //! Scale the run length with `TDC_SCALE` (default 1.0 = full runs).
 
 fn main() {
-    let cfg = tdc_bench::standard_config();
-    println!(
-        "tagless-dram-cache figure regeneration | TDC_SCALE={} | warmup={} measured={} refs/core | seed={}",
-        std::env::var("TDC_SCALE").unwrap_or_else(|_| "1.0 (default)".into()),
-        cfg.warmup_refs,
-        cfg.measured_refs,
-        tdc_bench::SEED,
-    );
-    println!();
-    tdc_bench::table6();
-    println!();
-    tdc_bench::amat_table(&cfg);
-    println!();
-    tdc_bench::fig07(&cfg);
-    println!();
-    tdc_bench::fig08(&cfg);
-    println!();
-    tdc_bench::fig09(&cfg);
-    println!();
-    tdc_bench::fig10(&cfg);
-    println!();
-    tdc_bench::fig11(&cfg);
-    println!();
-    tdc_bench::fig12(&cfg);
-    println!();
-    tdc_bench::fig13(&cfg);
-    println!();
-    tdc_bench::table1(&cfg);
+    std::process::exit(tdc_harness::cli::run(&["all".to_string()]));
 }

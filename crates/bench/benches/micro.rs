@@ -1,16 +1,38 @@
-//! Criterion microbenches for the simulator's components: the costs the
-//! paper's design arguments hinge on (tagless vs SRAM-tag access path,
-//! DRAM controller throughput, TLB/walker, replacement machinery, trace
-//! generation).
+//! Dependency-free microbenches for the simulator's components: the
+//! costs the paper's design arguments hinge on (tagless vs SRAM-tag
+//! access path, DRAM controller throughput, replacement machinery,
+//! trace generation).
+//!
+//! Run with `cargo bench -p tdc-bench --bench micro`. Each benchmark is
+//! timed with `std::time::Instant` over a fixed iteration budget (no
+//! external benchmarking crate; the container builds offline).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 use tdc_dram::{AccessKind, DramConfig, DramController};
-use tdc_dram_cache::{
-    L3System, SramTagCache, SystemParams, TaglessCache, VictimPolicy,
-};
+use tdc_dram_cache::{L3System, SramTagCache, SystemParams, TaglessCache, VictimPolicy};
 use tdc_sram_cache::{CacheGeometry, Replacement, SetAssocCache};
 use tdc_trace::{profiles, SyntheticWorkload, TraceSource};
 use tdc_util::{Pcg32, Rng, Vpn, Zipf};
+
+/// Times `iters` calls of `f` after a 1/10 warmup pass and prints ns/op.
+fn bench<T>(name: &str, iters: u64, mut f: impl FnMut() -> T) {
+    for _ in 0..iters / 10 {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{:<28} {:>12.1} ns/op   ({} iters in {:.3?})",
+        name,
+        elapsed.as_nanos() as f64 / iters as f64,
+        iters,
+        elapsed
+    );
+}
 
 fn small_params() -> SystemParams {
     let mut p = SystemParams::with_cache_capacity(64 << 20);
@@ -19,47 +41,46 @@ fn small_params() -> SystemParams {
     p
 }
 
-fn bench_dram_controller(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dram_controller");
-    g.bench_function("block_read_row_hits", |b| {
+fn bench_dram_controller() {
+    println!("-- dram_controller --");
+    {
         let mut m = DramController::new(DramConfig::in_package_1gb());
         let mut now = 0u64;
         let mut addr = 0u64;
-        b.iter(|| {
+        bench("block_read_row_hits", 2_000_000, || {
             let r = m.access(now, addr % (1 << 28), AccessKind::Read, 64);
             now = r.first_data;
             addr += 64;
-            black_box(r.first_data)
+            r.first_data
         });
-    });
-    g.bench_function("block_read_random", |b| {
+    }
+    {
         let mut m = DramController::new(DramConfig::off_package_8gb());
         let mut rng = Pcg32::seed_from_u64(1);
         let mut now = 0u64;
-        b.iter(|| {
+        bench("block_read_random", 2_000_000, || {
             let r = m.access(now, rng.gen_range(1 << 33), AccessKind::Read, 64);
             now = r.first_data;
-            black_box(r.first_data)
+            r.first_data
         });
-    });
-    g.bench_function("page_fill_4kb", |b| {
+    }
+    {
         let mut m = DramController::new(DramConfig::off_package_8gb());
         let mut rng = Pcg32::seed_from_u64(2);
         let mut now = 0u64;
-        b.iter(|| {
+        bench("page_fill_4kb", 500_000, || {
             let r = m.access(now, rng.gen_range(1 << 33) & !4095, AccessKind::Read, 4096);
             now = r.first_data;
-            black_box(r.done)
+            r.done
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_access_paths(c: &mut Criterion) {
-    let mut g = c.benchmark_group("access_path");
+fn bench_access_paths() {
+    println!("-- access_path --");
     // The headline comparison: cost of one translate+access on the
     // tagless path vs the SRAM-tag path, warm state.
-    g.bench_function("tagless_warm_hit", |b| {
+    {
         let p = small_params();
         let mut l3 = TaglessCache::new(&p, VictimPolicy::Fifo);
         for v in 0..16u64 {
@@ -67,15 +88,15 @@ fn bench_access_paths(c: &mut Criterion) {
         }
         let mut now = 1_000_000u64;
         let mut v = 0u64;
-        b.iter(|| {
+        bench("tagless_warm_hit", 1_000_000, || {
             let tr = l3.translate(now, 0, Vpn(v % 16), false);
             let m = l3.access(now + tr.penalty, 0, tr.frame, tr.nc, v % 64);
             now += 200;
             v += 1;
-            black_box(m.latency)
+            m.latency
         });
-    });
-    g.bench_function("sram_tag_warm_hit", |b| {
+    }
+    {
         let p = small_params();
         let mut l3 = SramTagCache::new(&p);
         for v in 0..16u64 {
@@ -84,67 +105,56 @@ fn bench_access_paths(c: &mut Criterion) {
         }
         let mut now = 1_000_000u64;
         let mut v = 0u64;
-        b.iter(|| {
+        bench("sram_tag_warm_hit", 1_000_000, || {
             let tr = l3.translate(now, 0, Vpn(v % 16), false);
             let m = l3.access(now + tr.penalty, 0, tr.frame, tr.nc, v % 64);
             now += 200;
             v += 1;
-            black_box(m.latency)
+            m.latency
         });
-    });
-    g.bench_function("tagless_cold_fill", |b| {
+    }
+    {
         let p = small_params();
         let mut l3 = TaglessCache::new(&p, VictimPolicy::Fifo);
         let mut now = 0u64;
         let mut v = 0u64;
-        b.iter(|| {
+        bench("tagless_cold_fill", 200_000, || {
             let tr = l3.translate(now, 0, Vpn(v), false);
             now += tr.penalty + 100;
             v += 1;
-            black_box(tr.penalty)
+            tr.penalty
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_sram_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("set_assoc_cache");
+fn bench_sram_cache() {
+    println!("-- set_assoc_cache --");
     for (name, repl) in [("lru", Replacement::Lru), ("fifo", Replacement::Fifo)] {
-        g.bench_function(name, |b| {
-            let geom = CacheGeometry::new(2 << 20, 64, 16).expect("valid");
-            let mut cache = SetAssocCache::new(geom, repl);
-            let mut rng = Pcg32::seed_from_u64(3);
-            b.iter(|| {
-                let r = cache.access(rng.gen_range(16 << 20), false);
-                black_box(r.hit)
-            });
+        let geom = CacheGeometry::new(2 << 20, 64, 16).expect("valid");
+        let mut cache = SetAssocCache::new(geom, repl);
+        let mut rng = Pcg32::seed_from_u64(3);
+        bench(name, 2_000_000, || {
+            let r = cache.access(rng.gen_range(16 << 20), false);
+            r.hit
         });
     }
-    g.finish();
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace_gen");
-    for bench in ["mcf", "libquantum"] {
-        g.bench_function(bench, |b| {
-            let mut w =
-                SyntheticWorkload::new(profiles::spec(bench).expect("known").clone(), 7, 0);
-            b.iter(|| black_box(w.next_ref()));
-        });
+fn bench_trace_generation() {
+    println!("-- trace_gen --");
+    for name in ["mcf", "libquantum"] {
+        let mut w = SyntheticWorkload::new(profiles::spec(name).expect("known").clone(), 7, 0);
+        bench(name, 2_000_000, || w.next_ref());
     }
-    g.bench_function("zipf_sample", |b| {
-        let z = Zipf::new(1 << 20, 0.95).expect("valid");
-        let mut rng = Pcg32::seed_from_u64(5);
-        b.iter(|| black_box(z.sample(&mut rng)));
-    });
-    g.finish();
+    let z = Zipf::new(1 << 20, 0.95).expect("valid");
+    let mut rng = Pcg32::seed_from_u64(5);
+    bench("zipf_sample", 2_000_000, || z.sample(&mut rng));
 }
 
-criterion_group!(
-    benches,
-    bench_dram_controller,
-    bench_access_paths,
-    bench_sram_cache,
-    bench_trace_generation
-);
-criterion_main!(benches);
+fn main() {
+    println!("tagless-dram-cache microbenches (std::time, no harness)");
+    bench_dram_controller();
+    bench_access_paths();
+    bench_sram_cache();
+    bench_trace_generation();
+}

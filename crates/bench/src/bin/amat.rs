@@ -1,5 +1,5 @@
 //! Evaluates the paper's AMAT model (Equations 1-5) analytically and
-//! against measured latencies.
+//! against measured latencies — a thin wrapper over `tdc amat`.
 fn main() {
-    tdc_bench::amat_table(&tdc_bench::standard_config());
+    std::process::exit(tdc_harness::cli::run_single_figure("amat"));
 }

@@ -1,4 +1,4 @@
-//! Regenerates the paper's Figure 07.
+//! Regenerates the paper's Figure 07 — a thin wrapper over `tdc fig07`.
 fn main() {
-    tdc_bench::fig07(&tdc_bench::standard_config());
+    std::process::exit(tdc_harness::cli::run_single_figure("fig07"));
 }

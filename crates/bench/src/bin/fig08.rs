@@ -1,4 +1,4 @@
-//! Regenerates the paper's Figure 08.
+//! Regenerates the paper's Figure 08 — a thin wrapper over `tdc fig08`.
 fn main() {
-    tdc_bench::fig08(&tdc_bench::standard_config());
+    std::process::exit(tdc_harness::cli::run_single_figure("fig08"));
 }

@@ -1,4 +1,4 @@
-//! Regenerates the paper's Figure 09.
+//! Regenerates the paper's Figure 09 — a thin wrapper over `tdc fig09`.
 fn main() {
-    tdc_bench::fig09(&tdc_bench::standard_config());
+    std::process::exit(tdc_harness::cli::run_single_figure("fig09"));
 }

@@ -1,4 +1,4 @@
-//! Regenerates the paper's Figure 10.
+//! Regenerates the paper's Figure 10 — a thin wrapper over `tdc fig10`.
 fn main() {
-    tdc_bench::fig10(&tdc_bench::standard_config());
+    std::process::exit(tdc_harness::cli::run_single_figure("fig10"));
 }

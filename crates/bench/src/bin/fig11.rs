@@ -1,4 +1,4 @@
-//! Regenerates the paper's Figure 11.
+//! Regenerates the paper's Figure 11 — a thin wrapper over `tdc fig11`.
 fn main() {
-    tdc_bench::fig11(&tdc_bench::standard_config());
+    std::process::exit(tdc_harness::cli::run_single_figure("fig11"));
 }

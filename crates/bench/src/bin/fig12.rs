@@ -1,4 +1,4 @@
-//! Regenerates the paper's Figure 12.
+//! Regenerates the paper's Figure 12 — a thin wrapper over `tdc fig12`.
 fn main() {
-    tdc_bench::fig12(&tdc_bench::standard_config());
+    std::process::exit(tdc_harness::cli::run_single_figure("fig12"));
 }

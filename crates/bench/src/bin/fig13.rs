@@ -1,4 +1,4 @@
-//! Regenerates the paper's Figure 13.
+//! Regenerates the paper's Figure 13 — a thin wrapper over `tdc fig13`.
 fn main() {
-    tdc_bench::fig13(&tdc_bench::standard_config());
+    std::process::exit(tdc_harness::cli::run_single_figure("fig13"));
 }

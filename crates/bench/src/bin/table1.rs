@@ -1,4 +1,5 @@
-//! Regenerates the paper's Table 1 (access-case accounting).
+//! Regenerates the paper's Table 1 (access-case accounting) — a thin
+//! wrapper over `tdc table1`.
 fn main() {
-    tdc_bench::table1(&tdc_bench::standard_config());
+    std::process::exit(tdc_harness::cli::run_single_figure("table1"));
 }

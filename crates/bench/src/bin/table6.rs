@@ -1,4 +1,5 @@
-//! Regenerates the paper's Table 6 (SRAM tag array model).
+//! Regenerates the paper's Table 6 (SRAM tag array model) — a thin
+//! wrapper over `tdc table6`.
 fn main() {
-    tdc_bench::table6();
+    std::process::exit(tdc_harness::cli::run_single_figure("table6"));
 }

@@ -1,321 +1,98 @@
 //! Figure and table regeneration for every experiment in the paper.
 //!
-//! Each `figNN` function reproduces one figure of the evaluation
-//! section, printing the same rows/series the paper reports (normalized
-//! to the same baselines). The `src/bin/figNN` binaries and the
-//! `benches/figures.rs` bench target are thin wrappers around these
-//! functions.
+//! Since the `tdc-harness` crate landed, this crate is a thin
+//! compatibility layer: each `figNN` function builds a single-figure
+//! [`Harness`] and delegates to [`tdc_harness::figures`], which runs
+//! the figure's whole job matrix through the worker pool and result
+//! cache (the No-L3 baseline per benchmark is simulated once and
+//! shared, not recomputed per data point). The `src/bin/figNN`
+//! binaries and the `benches/figures.rs` target are in turn thin
+//! wrappers over the `tdc` CLI — `cargo run -p tdc-bench --bin fig07`
+//! and `tdc fig07` are the same code path.
 //!
 //! Run length is controlled by the `TDC_SCALE` environment variable
 //! (default 1.0 = the full configuration; e.g. `TDC_SCALE=0.1` for a
-//! quick pass).
+//! quick pass), or the `tdc --scale` flag.
 
-use tdc_core::experiment::{
-    run_mix, run_parsec, run_single, run_single_tagless_nc, OrgKind, RunConfig,
-};
-use tdc_core::{AmatInputs, AmatModel, RunReport};
-use tdc_sram_cache::TagArrayModel;
-use tdc_trace::profiles::{MIXES, PARSEC_NAMES, SPEC_NAMES};
-use tdc_util::geomean;
+use tdc_core::experiment::RunConfig;
+use tdc_core::RunReport;
+use tdc_harness::Harness;
 
 /// Master seed for all figure runs (fixed for reproducibility).
-pub const SEED: u64 = 2015;
+pub const SEED: u64 = tdc_harness::SEED;
 
 /// The standard run configuration, honoring `TDC_SCALE`.
 pub fn standard_config() -> RunConfig {
     RunConfig::from_env(SEED)
 }
 
-fn fmt_pct(x: f64) -> String {
-    format!("{:+.1}%", (x - 1.0) * 100.0)
+/// A parallel single-figure harness over `cfg` (all available CPUs).
+fn harness(cfg: &RunConfig) -> Harness {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    Harness::new(*cfg, threads)
+}
+
+fn print_figure(id: &str, cfg: &RunConfig) {
+    tdc_harness::generate(id, &harness(cfg))
+        .expect("known figure id")
+        .print();
 }
 
 /// Figure 7: IPC and EDP of the 11 memory-bound SPEC programs under
 /// BI / SRAM / cTLB / Ideal, normalized to the no-L3 baseline.
 pub fn fig07(cfg: &RunConfig) {
-    println!("== Figure 7: single-programmed IPC and EDP (normalized to No L3) ==");
-    println!("{:<12} {:>35} | {:>35}", "", "normalized IPC", "normalized EDP");
-    println!(
-        "{:<12} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
-        "benchmark", "BI", "SRAM", "cTLB", "Ideal", "BI", "SRAM", "cTLB", "Ideal"
-    );
-    let orgs = [
-        OrgKind::BankInterleave,
-        OrgKind::SramTag,
-        OrgKind::Tagless,
-        OrgKind::Ideal,
-    ];
-    let mut ipc_cols: Vec<Vec<f64>> = vec![Vec::new(); orgs.len()];
-    let mut edp_cols: Vec<Vec<f64>> = vec![Vec::new(); orgs.len()];
-    for bench in SPEC_NAMES {
-        let base = run_single(bench, OrgKind::NoL3, cfg).expect("known benchmark");
-        let mut ipc_row = Vec::new();
-        let mut edp_row = Vec::new();
-        for (i, org) in orgs.iter().enumerate() {
-            let r = run_single(bench, *org, cfg).expect("known benchmark");
-            let ni = r.normalized_ipc(&base);
-            let ne = r.normalized_edp(&base);
-            ipc_cols[i].push(ni);
-            edp_cols[i].push(ne);
-            ipc_row.push(ni);
-            edp_row.push(ne);
-        }
-        println!(
-            "{:<12} {:>8.3} {:>8.3} {:>8.3} {:>8.3} | {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
-            bench,
-            ipc_row[0], ipc_row[1], ipc_row[2], ipc_row[3],
-            edp_row[0], edp_row[1], edp_row[2], edp_row[3]
-        );
-    }
-    let g: Vec<f64> = ipc_cols.iter().map(|c| geomean(c)).collect();
-    let ge: Vec<f64> = edp_cols.iter().map(|c| geomean(c)).collect();
-    println!(
-        "{:<12} {:>8.3} {:>8.3} {:>8.3} {:>8.3} | {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
-        "geomean", g[0], g[1], g[2], g[3], ge[0], ge[1], ge[2], ge[3]
-    );
-    println!(
-        "IPC gains: BI {} SRAM {} cTLB {} Ideal {}   (paper: +4.0% / +16.4% / +24.9% / cTLB within 11.8% of Ideal)",
-        fmt_pct(g[0]), fmt_pct(g[1]), fmt_pct(g[2]), fmt_pct(g[3])
-    );
+    print_figure("fig07", cfg);
 }
 
 /// Figure 8: average L3 access latency of the SRAM-tag and tagless
 /// caches (TLB access time included), per SPEC program.
 pub fn fig08(cfg: &RunConfig) {
-    println!("== Figure 8: average L3 access latency (cycles; lower is better) ==");
-    println!("{:<12} {:>8} {:>8} {:>10}", "benchmark", "SRAM", "cTLB", "reduction");
-    let mut ratios = Vec::new();
-    for bench in SPEC_NAMES {
-        let sram = run_single(bench, OrgKind::SramTag, cfg).expect("known benchmark");
-        let ctlb = run_single(bench, OrgKind::Tagless, cfg).expect("known benchmark");
-        let (ls, lt) = (sram.avg_l3_latency(), ctlb.avg_l3_latency());
-        ratios.push(lt / ls);
-        println!(
-            "{:<12} {:>8.1} {:>8.1} {:>9.1}%",
-            bench, ls, lt, (1.0 - lt / ls) * 100.0
-        );
-    }
-    println!(
-        "geomean latency reduction: {:.1}%   (paper: 9.9% geomean, up to 16.7% for libquantum)",
-        (1.0 - geomean(&ratios)) * 100.0
-    );
+    print_figure("fig08", cfg);
 }
 
 /// Figure 9: IPC and EDP of the eight Table 5 multi-programmed mixes,
 /// normalized to the no-L3 baseline.
 pub fn fig09(cfg: &RunConfig) {
-    println!("== Figure 9: multi-programmed IPC and EDP (normalized to No L3) ==");
-    println!(
-        "{:<6} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
-        "mix", "BI", "SRAM", "cTLB", "BI", "SRAM", "cTLB"
-    );
-    let orgs = [OrgKind::BankInterleave, OrgKind::SramTag, OrgKind::Tagless];
-    let mut ipc_cols: Vec<Vec<f64>> = vec![Vec::new(); orgs.len()];
-    for (mix, _) in MIXES {
-        let base = run_mix(mix, OrgKind::NoL3, cfg).expect("known mix");
-        let mut row = Vec::new();
-        for (i, org) in orgs.iter().enumerate() {
-            let r = run_mix(mix, *org, cfg).expect("known mix");
-            ipc_cols[i].push(r.normalized_ipc(&base));
-            row.push((r.normalized_ipc(&base), r.normalized_edp(&base)));
-        }
-        println!(
-            "{:<6} {:>8.3} {:>8.3} {:>8.3} | {:>8.3} {:>8.3} {:>8.3}",
-            mix, row[0].0, row[1].0, row[2].0, row[0].1, row[1].1, row[2].1
-        );
-    }
-    let g: Vec<f64> = ipc_cols.iter().map(|c| geomean(c)).collect();
-    println!(
-        "geomean IPC gains: BI {} SRAM {} cTLB {}   (paper: +11.2% / +34.9% / +38.4%)",
-        fmt_pct(g[0]), fmt_pct(g[1]), fmt_pct(g[2])
-    );
+    print_figure("fig09", cfg);
 }
 
 /// Figure 10: sensitivity to DRAM cache size. IPC normalized to the
 /// bank-interleaving baseline at each size.
 pub fn fig10(cfg: &RunConfig) {
-    println!("== Figure 10: cache-size sensitivity (IPC normalized to BI) ==");
-    println!(
-        "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "mix", "S 256MB", "T 256MB", "S 512MB", "T 512MB", "S 1GB", "T 1GB"
-    );
-    let sizes = [256u64 << 20, 512 << 20, 1 << 30];
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 6];
-    for (mix, _) in MIXES {
-        let mut row = Vec::new();
-        for &size in &sizes {
-            let c = cfg.with_cache_bytes(size);
-            let bi = run_mix(mix, OrgKind::BankInterleave, &c).expect("known mix");
-            let sram = run_mix(mix, OrgKind::SramTag, &c).expect("known mix");
-            let ctlb = run_mix(mix, OrgKind::Tagless, &c).expect("known mix");
-            row.push(sram.normalized_ipc(&bi));
-            row.push(ctlb.normalized_ipc(&bi));
-        }
-        for (i, v) in row.iter().enumerate() {
-            cols[i].push(*v);
-        }
-        println!(
-            "{:<6} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
-            mix, row[0], row[1], row[2], row[3], row[4], row[5]
-        );
-    }
-    let g: Vec<f64> = cols.iter().map(|c| geomean(c)).collect();
-    println!(
-        "{:<6} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
-        "geo", g[0], g[1], g[2], g[3], g[4], g[5]
-    );
-    println!("(paper: severe degradation below BI at 256MB, tagless ahead at large sizes)");
+    print_figure("fig10", cfg);
 }
 
 /// Figure 11: FIFO vs LRU replacement for the tagless cache.
 pub fn fig11(cfg: &RunConfig) {
-    println!("== Figure 11: replacement policy (LRU IPC normalized to FIFO) ==");
-    println!("{:<6} {:>10} {:>10}", "mix", "1GB", "512MB");
-    let mut all = Vec::new();
-    for (mix, _) in MIXES {
-        let mut row = Vec::new();
-        for size in [1u64 << 30, 512 << 20] {
-            let c = cfg.with_cache_bytes(size);
-            let fifo = run_mix(mix, OrgKind::Tagless, &c).expect("known mix");
-            let lru = run_mix(mix, OrgKind::TaglessLru, &c).expect("known mix");
-            row.push(lru.normalized_ipc(&fifo));
-        }
-        all.push(row[0]);
-        println!("{:<6} {:>10.3} {:>10.3}", mix, row[0], row[1]);
-    }
-    println!(
-        "geomean LRU/FIFO at 1GB: {:.3}   (paper: LRU ahead by only 1.6% — FIFO suffices)",
-        geomean(&all)
-    );
+    print_figure("fig11", cfg);
 }
 
 /// Figure 12: IPC speedup and EDP of the four PARSEC programs.
 pub fn fig12(cfg: &RunConfig) {
-    println!("== Figure 12: multi-threaded (PARSEC) IPC and EDP (normalized to No L3) ==");
-    println!(
-        "{:<14} {:>8} {:>8} {:>8} | {:>8} {:>8}",
-        "benchmark", "BI", "SRAM", "cTLB", "SRAM", "cTLB"
-    );
-    for bench in PARSEC_NAMES {
-        let base = run_parsec(bench, OrgKind::NoL3, cfg).expect("known benchmark");
-        let bi = run_parsec(bench, OrgKind::BankInterleave, cfg).expect("known benchmark");
-        let sram = run_parsec(bench, OrgKind::SramTag, cfg).expect("known benchmark");
-        let ctlb = run_parsec(bench, OrgKind::Tagless, cfg).expect("known benchmark");
-        println!(
-            "{:<14} {:>8.3} {:>8.3} {:>8.3} | {:>8.3} {:>8.3}",
-            bench,
-            bi.normalized_ipc(&base),
-            sram.normalized_ipc(&base),
-            ctlb.normalized_ipc(&base),
-            sram.normalized_edp(&base),
-            ctlb.normalized_edp(&base)
-        );
-    }
-    println!("(paper: streamcluster/facesim gain; swaptions/fluidanimate flat or slightly down)");
+    print_figure("fig12", cfg);
 }
 
 /// Figure 13: the §5.4 non-cacheable case study on 459.GemsFDTD.
 pub fn fig13(cfg: &RunConfig) {
-    println!("== Figure 13: non-cacheable pages on GemsFDTD (IPC normalized to No L3) ==");
-    let base = run_single("GemsFDTD", OrgKind::NoL3, cfg).expect("known benchmark");
-    let plain = run_single("GemsFDTD", OrgKind::Tagless, cfg).expect("known benchmark");
-    let nc = run_single_tagless_nc("GemsFDTD", cfg, 32).expect("known benchmark");
-    println!(
-        "{:<10} {:>8.3}\n{:<10} {:>8.3}\n{:<10} {:>8.3}",
-        "cTLB",
-        plain.normalized_ipc(&base),
-        "cTLB+NC",
-        nc.normalized_ipc(&base),
-        "NC gain",
-        nc.ipc_total() / plain.ipc_total()
-    );
-    println!(
-        "off-package demand fraction: cTLB {:.3} -> cTLB+NC {:.3}",
-        1.0 - plain.in_package_fraction(),
-        1.0 - nc.in_package_fraction()
-    );
-    println!("(paper: +7.1% IPC from flagging pages with access count < 32)");
+    print_figure("fig13", cfg);
 }
 
 /// Table 1: occurrence of the four (TLB, DRAM-cache) hit/miss cases of
 /// the tagless design, measured directly from the simulator.
 pub fn table1(cfg: &RunConfig) {
-    println!("== Table 1: the four access cases (measured on GemsFDTD+NC) ==");
-    let nc = run_single_tagless_nc("GemsFDTD", cfg, 32).expect("known benchmark");
-    let s = &nc.l3;
-    let total =
-        (s.case_hit_hit + s.case_hit_miss + s.case_miss_hit + s.case_miss_miss).max(1) as f64;
-    println!(
-        "(Hit, Hit)   cache hit, zero penalty:            {:>10} ({:.2}%)",
-        s.case_hit_hit,
-        s.case_hit_hit as f64 / total * 100.0
-    );
-    println!(
-        "(Hit, Miss)  non-cacheable page:                 {:>10} ({:.2}%)",
-        s.case_hit_miss,
-        s.case_hit_miss as f64 / total * 100.0
-    );
-    println!(
-        "(Miss, Hit)  in-package victim hit:              {:>10} ({:.2}%)",
-        s.case_miss_hit,
-        s.case_miss_hit as f64 / total * 100.0
-    );
-    println!(
-        "(Miss, Miss) off-package miss (fill/GIPT/NC):    {:>10} ({:.2}%)",
-        s.case_miss_miss,
-        s.case_miss_miss as f64 / total * 100.0
-    );
-    println!(
-        "page fills: {}   GIPT updates: {}   PU-suppressed duplicate fills: {}",
-        s.page_fills, s.gipt_updates, s.pu_suppressed_fills
-    );
+    print_figure("table1", cfg);
 }
 
 /// Table 6: SRAM tag size and latency vs DRAM cache size (the CACTI-6.5
 /// substitute model).
 pub fn table6() {
-    println!("== Table 6: SRAM tag array vs cache size ==");
-    println!(
-        "{:<12} {:>10} {:>10} {:>12}",
-        "cache size", "tag size", "latency", "probe energy"
-    );
-    for (label, bytes) in [
-        ("128MB", 128u64 << 20),
-        ("256MB", 256 << 20),
-        ("512MB", 512 << 20),
-        ("1GB", 1 << 30),
-    ] {
-        let m = TagArrayModel::new(bytes);
-        println!(
-            "{:<12} {:>8.1}MB {:>8}cyc {:>10.0}pJ",
-            label,
-            m.tag_mb(),
-            m.latency_cycles(),
-            m.probe_energy_pj()
-        );
-    }
-    println!("(paper: 0.5/1/2/4 MB and 5/6/9/11 cycles)");
+    print_figure("table6", &standard_config());
 }
 
 /// The analytic AMAT model (Equations 1–5) at the paper-representative
 /// operating point, next to measured simulator latencies.
 pub fn amat_table(cfg: &RunConfig) {
-    println!("== AMAT model (Equations 1-5) ==");
-    let i = AmatInputs::paper_representative();
-    println!(
-        "analytic:  AMAT_SRAM-tag = {:.1} cycles, AMAT_Tagless = {:.1} cycles ({:.1}% lower)",
-        AmatModel::amat_sram_tag(&i),
-        AmatModel::amat_tagless(&i),
-        (1.0 - AmatModel::amat_tagless(&i) / AmatModel::amat_sram_tag(&i)) * 100.0
-    );
-    let sram = run_single("milc", OrgKind::SramTag, cfg).expect("known benchmark");
-    let ctlb = run_single("milc", OrgKind::Tagless, cfg).expect("known benchmark");
-    println!(
-        "measured (milc): SRAM {:.1} cycles, cTLB {:.1} cycles ({:.1}% lower)",
-        sram.avg_l3_latency(),
-        ctlb.avg_l3_latency(),
-        (1.0 - ctlb.avg_l3_latency() / sram.avg_l3_latency()) * 100.0
-    );
+    print_figure("amat", cfg);
 }
 
 /// Convenience: a compact one-workload summary used by examples/tests.

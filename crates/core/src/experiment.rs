@@ -112,20 +112,25 @@ impl RunConfig {
         }
     }
 
+    /// `full()` with its run lengths multiplied by `factor` (clamped to
+    /// sane minimums). `factor <= 0` is ignored.
+    pub fn scaled(seed: u64, factor: f64) -> Self {
+        let mut cfg = Self::full(seed);
+        if factor > 0.0 {
+            cfg.warmup_refs = ((cfg.warmup_refs as f64 * factor) as u64).max(1_000);
+            cfg.measured_refs = ((cfg.measured_refs as f64 * factor) as u64).max(2_000);
+        }
+        cfg
+    }
+
     /// `full()` scaled by the `TDC_SCALE` environment variable (a float;
     /// e.g. `TDC_SCALE=0.1` for a fast pass) — the knob the bench
     /// harnesses use.
     pub fn from_env(seed: u64) -> Self {
-        let mut cfg = Self::full(seed);
-        if let Ok(s) = std::env::var("TDC_SCALE") {
-            if let Ok(f) = s.parse::<f64>() {
-                if f > 0.0 {
-                    cfg.warmup_refs = ((cfg.warmup_refs as f64 * f) as u64).max(1_000);
-                    cfg.measured_refs = ((cfg.measured_refs as f64 * f) as u64).max(2_000);
-                }
-            }
+        match std::env::var("TDC_SCALE").ok().and_then(|s| s.parse::<f64>().ok()) {
+            Some(f) => Self::scaled(seed, f),
+            None => Self::full(seed),
         }
-        cfg
     }
 
     /// The same configuration with a different cache size.
@@ -306,6 +311,122 @@ pub fn run_single_custom(
     Some(run_system(sys, profile.name, cfg, false))
 }
 
+/// The workload half of a simulation cell: which trace generator to
+/// drive and how (Figs. 7–13 each enumerate a set of these).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// A single-programmed SPEC benchmark on one core.
+    Spec(String),
+    /// A Table 5 multi-programmed four-core mix.
+    Mix(String),
+    /// A PARSEC benchmark, four threads sharing an address space.
+    Parsec(String),
+}
+
+impl Workload {
+    /// The workload's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            Workload::Spec(n) | Workload::Mix(n) | Workload::Parsec(n) => n,
+        }
+    }
+}
+
+/// One fully specified simulation cell: `(workload, organization,
+/// configuration)`. Jobs are **cache-keyable** — [`Job::cache_key`] is
+/// injective over everything that influences the simulation outcome —
+/// and **deterministic**: a job's result depends only on the job itself
+/// (every RNG stream derives from `cfg.seed`), never on when or where
+/// it executes. The experiment harness (`tdc-harness`) exploits both to
+/// run cells in parallel and share results across figures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    /// The trace generator to drive.
+    pub workload: Workload,
+    /// The memory-system organization to simulate.
+    pub org: OrgKind,
+    /// `Some(threshold)`: run the §5.4 non-cacheable variant instead
+    /// (tagless with offline NC profiling; `workload` must be `Spec`).
+    pub nc_threshold: Option<u64>,
+    /// Run-length and capacity knobs (includes the master seed).
+    pub cfg: RunConfig,
+}
+
+impl Job {
+    /// A plain (workload, org) cell under `cfg`.
+    pub fn new(workload: Workload, org: OrgKind, cfg: RunConfig) -> Self {
+        Self {
+            workload,
+            org,
+            nc_threshold: None,
+            cfg,
+        }
+    }
+
+    /// The §5.4 non-cacheable study cell on a SPEC benchmark.
+    pub fn spec_nc(bench: &str, threshold: u64, cfg: RunConfig) -> Self {
+        Self {
+            workload: Workload::Spec(bench.to_string()),
+            org: OrgKind::Tagless,
+            nc_threshold: Some(threshold),
+            cfg,
+        }
+    }
+
+    /// A stable, injective key over every input that determines this
+    /// job's result. Two jobs with equal keys produce bit-identical
+    /// [`RunReport`]s.
+    pub fn cache_key(&self) -> String {
+        let class = match &self.workload {
+            Workload::Spec(_) => "spec",
+            Workload::Mix(_) => "mix",
+            Workload::Parsec(_) => "parsec",
+        };
+        let nc = match self.nc_threshold {
+            Some(t) => format!("|nc={t}"),
+            None => String::new(),
+        };
+        format!(
+            "{class}:{}|org={:?}{nc}|seed={}|cache={}|warm={}|meas={}",
+            self.workload.name(),
+            self.org,
+            self.cfg.seed,
+            self.cfg.cache_bytes,
+            self.cfg.warmup_refs,
+            self.cfg.measured_refs
+        )
+    }
+
+    /// A short human-readable label for progress reporting.
+    pub fn label(&self) -> String {
+        let suffix = match self.nc_threshold {
+            Some(t) => format!("+NC{t}"),
+            None => String::new(),
+        };
+        format!(
+            "{}/{}{} @{}MB",
+            self.workload.name(),
+            self.org.label(),
+            suffix,
+            self.cfg.cache_bytes >> 20
+        )
+    }
+
+    /// Runs the cell. `Err` names the unknown workload.
+    pub fn execute(&self) -> Result<RunReport, String> {
+        let missing = || format!("unknown workload {:?}", self.workload);
+        match (&self.workload, self.nc_threshold) {
+            (Workload::Spec(b), Some(t)) => {
+                run_single_tagless_nc(b, &self.cfg, t).ok_or_else(missing)
+            }
+            (Workload::Spec(b), None) => run_single(b, self.org, &self.cfg).ok_or_else(missing),
+            (Workload::Mix(m), None) => run_mix(m, self.org, &self.cfg).ok_or_else(missing),
+            (Workload::Parsec(b), None) => run_parsec(b, self.org, &self.cfg).ok_or_else(missing),
+            (w, Some(_)) => Err(format!("non-cacheable study needs a Spec workload, got {w:?}")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,6 +501,53 @@ mod tests {
         let b = run_single("milc", OrgKind::Tagless, &cfg).unwrap();
         assert_eq!(a.ipc_total(), b.ipc_total());
         assert_eq!(a.l3.demand_reads, b.l3.demand_reads);
+    }
+
+    #[test]
+    fn job_executes_like_direct_runner() {
+        let cfg = tiny();
+        let direct = run_single("milc", OrgKind::Tagless, &cfg).unwrap();
+        let job = Job::new(Workload::Spec("milc".into()), OrgKind::Tagless, cfg);
+        let via_job = job.execute().unwrap();
+        assert_eq!(direct.ipc_total(), via_job.ipc_total());
+        assert_eq!(direct.l3.demand_reads, via_job.l3.demand_reads);
+    }
+
+    #[test]
+    fn cache_keys_separate_distinct_cells() {
+        let cfg = tiny();
+        let a = Job::new(Workload::Spec("milc".into()), OrgKind::Tagless, cfg);
+        let b = Job::new(Workload::Spec("milc".into()), OrgKind::SramTag, cfg);
+        let c = Job::new(Workload::Mix("milc".into()), OrgKind::Tagless, cfg);
+        let d = Job::new(
+            Workload::Spec("milc".into()),
+            OrgKind::Tagless,
+            cfg.with_cache_bytes(1 << 28),
+        );
+        let e = Job::spec_nc("milc", 32, cfg);
+        let keys = [a.cache_key(), b.cache_key(), c.cache_key(), d.cache_key(), e.cache_key()];
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j]);
+            }
+        }
+        assert_eq!(a.cache_key(), a.clone().cache_key());
+    }
+
+    #[test]
+    fn job_rejects_unknown_and_malformed() {
+        let cfg = tiny();
+        assert!(Job::new(Workload::Spec("nosuch".into()), OrgKind::NoL3, cfg)
+            .execute()
+            .is_err());
+        assert!(Job {
+            workload: Workload::Mix("MIX1".into()),
+            org: OrgKind::Tagless,
+            nc_threshold: Some(8),
+            cfg,
+        }
+        .execute()
+        .is_err());
     }
 
     #[test]

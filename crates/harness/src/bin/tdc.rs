@@ -1,0 +1,6 @@
+//! The `tdc` experiment orchestrator. See `tdc --help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(tdc_harness::cli::run(&args));
+}

@@ -1,0 +1,233 @@
+//! The `tdc` command line: one entry point for the whole evaluation.
+//!
+//! ```text
+//! tdc list                          # what can be generated
+//! tdc fig07 fig08                   # selected figures, shared cache
+//! tdc all --jobs 8 --scale 0.1     # everything, 8 workers, short runs
+//! ```
+//!
+//! The `figNN`/`tableN` binaries in `crates/bench` are thin wrappers
+//! over [`run`], so `cargo run -p tdc-bench --bin fig07` and
+//! `tdc fig07` are the same code path.
+
+use std::path::PathBuf;
+use std::time::Instant;
+use tdc_core::RunConfig;
+
+use crate::figures::{generate, ALL_IDS};
+use crate::harness::Harness;
+use crate::sink::write_results;
+use crate::SEED;
+
+/// Parsed command-line options.
+struct Options {
+    ids: Vec<String>,
+    jobs: usize,
+    scale: Option<f64>,
+    seed: u64,
+    out: Option<PathBuf>,
+    quiet: bool,
+}
+
+const USAGE: &str = "\
+tdc — parallel experiment orchestration for the tagless DRAM cache study
+
+USAGE:
+    tdc <COMMAND>... [OPTIONS]
+
+COMMANDS:
+    list        List every figure/table id and exit
+    all         Generate the full evaluation (all figures and tables)
+    fig07..fig13, table1, table6, amat
+                Generate the named figures (several may be given; they
+                share one result cache, so common cells run once)
+
+OPTIONS:
+    --jobs N    Worker threads (default: available CPU parallelism)
+    --scale F   Run-length scale factor (default: TDC_SCALE env or 1.0)
+    --seed S    Master seed (default: 2015)
+    --out DIR   Artifact directory (default: results)
+    --no-out    Skip writing JSON artifacts
+    --quiet     Suppress per-job progress lines on stderr
+    -h, --help  Show this help
+
+Results are deterministic: the JSON artifacts depend only on the figure
+set, seed, scale, and cache size — never on --jobs or scheduling.";
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        ids: Vec::new(),
+        jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        scale: None,
+        seed: SEED,
+        out: Some(PathBuf::from("results")),
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--jobs" => {
+                opts.jobs = value("--jobs")?
+                    .parse::<usize>()
+                    .map_err(|_| "--jobs needs a positive integer".to_string())?
+                    .max(1)
+            }
+            "--scale" => {
+                let f = value("--scale")?
+                    .parse::<f64>()
+                    .map_err(|_| "--scale needs a number".to_string())?;
+                if f <= 0.0 {
+                    return Err("--scale must be positive".into());
+                }
+                opts.scale = Some(f);
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse::<u64>()
+                    .map_err(|_| "--seed needs an unsigned integer".to_string())?
+            }
+            "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
+            "--no-out" => opts.out = None,
+            "--quiet" => opts.quiet = true,
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            "list" => opts.ids.push("list".into()),
+            "all" => opts.ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            id if ALL_IDS.contains(&id) => opts.ids.push(id.to_string()),
+            other => {
+                return Err(format!(
+                    "unknown argument '{other}' (try 'tdc list' or 'tdc --help')"
+                ))
+            }
+        }
+    }
+    if opts.ids.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(opts)
+}
+
+/// The configuration a CLI invocation runs under.
+fn config(opts: &Options) -> RunConfig {
+    match opts.scale {
+        Some(f) => RunConfig::scaled(opts.seed, f),
+        None => RunConfig::from_env(opts.seed),
+    }
+}
+
+/// Runs the CLI with `args` (without the program name). Returns the
+/// process exit code.
+pub fn run(args: &[String]) -> i32 {
+    let opts = match parse(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    if opts.ids.iter().any(|id| id == "list") {
+        println!("available figures/tables (in 'tdc all' order):");
+        for id in ALL_IDS {
+            println!("  {id}");
+        }
+        return 0;
+    }
+
+    let cfg = config(&opts);
+    let start = Instant::now();
+    let harness = Harness::new(cfg, opts.jobs).verbose(!opts.quiet);
+    if !opts.quiet {
+        println!(
+            "tdc | {} figure(s) | jobs={} | seed={} | warmup={} measured={} refs/core",
+            opts.ids.len(),
+            harness.threads(),
+            cfg.seed,
+            cfg.warmup_refs,
+            cfg.measured_refs
+        );
+        println!();
+    }
+
+    let mut figures = Vec::new();
+    for (i, id) in opts.ids.iter().enumerate() {
+        let fig = generate(id, &harness).expect("ids validated during parsing");
+        if i > 0 {
+            println!();
+        }
+        fig.print();
+        figures.push(fig);
+    }
+
+    let stats = harness.stats();
+    let wall = start.elapsed();
+    if !opts.quiet {
+        eprintln!(
+            "tdc: {} cells simulated, {} cache hits of {} requests | busy {:.2}s over wall {:.2}s ({:.2}x)",
+            stats.executed,
+            stats.cache_hits,
+            stats.requested,
+            stats.busy.as_secs_f64(),
+            wall.as_secs_f64(),
+            stats.busy.as_secs_f64() / wall.as_secs_f64().max(1e-9)
+        );
+    }
+
+    if let Some(dir) = &opts.out {
+        match write_results(dir, &cfg, &figures, &harness.results()) {
+            Ok(written) => eprintln!("tdc: wrote {} artifacts under {}", written.len(), dir.display()),
+            Err(e) => {
+                eprintln!("tdc: failed to write artifacts under {}: {e}", dir.display());
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+/// Convenience for the thin `figNN` wrapper binaries: runs exactly one
+/// figure with default options (all CPUs, `TDC_SCALE` honored, no
+/// artifacts written — the historical binaries only printed).
+pub fn run_single_figure(id: &str) -> i32 {
+    run(&[id.to_string(), "--no-out".into(), "--quiet".into()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_figures_and_flags() {
+        let args: Vec<String> = ["fig07", "table6", "--jobs", "3", "--scale", "0.5", "--seed", "9", "--no-out", "--quiet"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse(&args).unwrap();
+        assert_eq!(o.ids, vec!["fig07", "table6"]);
+        assert_eq!(o.jobs, 3);
+        assert_eq!(o.scale, Some(0.5));
+        assert_eq!(o.seed, 9);
+        assert!(o.out.is_none());
+        assert!(o.quiet);
+        let cfg = config(&o);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.measured_refs, 800_000);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_empty() {
+        assert!(parse(&["frobnicate".to_string()]).is_err());
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--jobs".to_string(), "x".to_string()]).is_err());
+        assert!(parse(&["--scale".to_string(), "-1".to_string()]).is_err());
+    }
+
+    #[test]
+    fn all_expands_to_every_id() {
+        let o = parse(&["all".to_string()]).unwrap();
+        assert_eq!(o.ids.len(), ALL_IDS.len());
+    }
+}

@@ -1,0 +1,134 @@
+//! A std-only worker pool for experiment jobs.
+//!
+//! The pool executes a batch of [`Job`]s across `threads` OS threads
+//! (`std::thread::scope` + an atomic work index; no external crates).
+//! Scheduling order is **irrelevant to results**: every job is a pure
+//! function of its own fields (all RNG streams derive from the job's
+//! seed), so the batch's outputs are bit-identical whether it runs on
+//! one thread or sixteen. Only wall-clock time and the interleaving of
+//! progress lines vary.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use tdc_core::experiment::Job;
+use tdc_core::RunReport;
+
+/// One finished cell: the job's result plus its wall-clock cost.
+pub struct Completed {
+    /// The result (`Err` for unknown workload names).
+    pub result: Result<RunReport, String>,
+    /// Wall-clock time this job took on its worker thread.
+    pub elapsed: Duration,
+}
+
+/// Runs `jobs` on `threads` worker threads and returns one [`Completed`]
+/// per job, **in input order**. `progress` is invoked after each
+/// completion (from worker threads, serialized) with `(done, total,
+/// label, elapsed)`.
+pub fn run_batch(
+    jobs: &[Job],
+    threads: usize,
+    progress: &(dyn Fn(usize, usize, &str, Duration) + Sync),
+) -> Vec<Completed> {
+    let total = jobs.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, total);
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Completed>>> = (0..total).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let start = Instant::now();
+                let result = jobs[i].execute();
+                let elapsed = start.elapsed();
+                *slots[i].lock().expect("result slot poisoned") =
+                    Some(Completed { result, elapsed });
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                progress(finished, total, &jobs[i].label(), elapsed);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker scope joined with job unfinished")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdc_core::experiment::{OrgKind, RunConfig, Workload};
+
+    fn tiny_jobs() -> Vec<Job> {
+        let cfg = RunConfig {
+            seed: 11,
+            cache_bytes: 64 << 20,
+            warmup_refs: 1_000,
+            measured_refs: 3_000,
+        };
+        ["milc", "mcf", "omnetpp"]
+            .into_iter()
+            .flat_map(|b| {
+                [OrgKind::NoL3, OrgKind::Tagless].into_iter().map(move |org| {
+                    Job::new(Workload::Spec(b.to_string()), org, cfg)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_are_in_input_order_and_thread_invariant() {
+        let jobs = tiny_jobs();
+        let quiet = |_: usize, _: usize, _: &str, _: Duration| {};
+        let serial = run_batch(&jobs, 1, &quiet);
+        let parallel = run_batch(&jobs, 4, &quiet);
+        assert_eq!(serial.len(), jobs.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            let (s, p) = (s.result.as_ref().unwrap(), p.result.as_ref().unwrap());
+            assert_eq!(s.workload, p.workload);
+            assert_eq!(s.org, p.org);
+            // Bit-identical, not approximately equal.
+            assert_eq!(s.ipc_total().to_bits(), p.ipc_total().to_bits());
+            assert_eq!(s.l3.demand_reads, p.l3.demand_reads);
+            assert_eq!(s.energy.edp.to_bits(), p.energy.edp.to_bits());
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_per_job() {
+        let cfg = RunConfig::quick(1);
+        let jobs = vec![Job::new(
+            Workload::Spec("nosuch".into()),
+            OrgKind::NoL3,
+            cfg,
+        )];
+        let out = run_batch(&jobs, 2, &|_, _, _, _| {});
+        assert!(out[0].result.is_err());
+    }
+
+    #[test]
+    fn progress_sees_every_completion() {
+        let jobs = tiny_jobs();
+        let count = AtomicUsize::new(0);
+        let _ = run_batch(&jobs, 3, &|done, total, label, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+            assert!(done >= 1 && done <= total);
+            assert!(!label.is_empty());
+        });
+        assert_eq!(count.load(Ordering::Relaxed), jobs.len());
+    }
+}

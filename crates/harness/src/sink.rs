@@ -1,0 +1,253 @@
+//! Machine-readable artifacts: `RunReport` → JSON and the `results/`
+//! directory layout.
+//!
+//! Layout written by [`write_results`]:
+//!
+//! ```text
+//! results/
+//!   index.json          run config, figure list, per-run file index
+//!   fig07.json … amat.json   one summary per figure/table produced
+//!   runs/<workload>_<org>_<hash>.json   one full RunReport per cell
+//! ```
+//!
+//! Everything under `results/` is **deterministic**: file contents are
+//! a pure function of `(figure set, seed, scale, cache size)` — never
+//! of `--jobs`, wall-clock time, or scheduling. Byte-identical reruns
+//! are the contract that makes `results/` diffable and usable as a
+//! regression baseline.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use tdc_core::{RunConfig, RunReport};
+use tdc_util::Json;
+
+use crate::figures::FigureData;
+
+/// Serializes one simulation cell completely: identity, per-core
+/// results, L3/DRAM statistics, energy, and the derived metrics the
+/// figures plot.
+pub fn report_json(key: &str, r: &RunReport) -> Json {
+    let cores = Json::Arr(
+        r.cores
+            .iter()
+            .map(|c| {
+                Json::obj([
+                    ("instrs", Json::from(c.instrs)),
+                    ("cycles", Json::from(c.cycles)),
+                    ("ipc", Json::from(c.ipc)),
+                    ("l1_misses", Json::from(c.l1_misses)),
+                    ("l2_misses", Json::from(c.l2_misses)),
+                    ("tlb_penalty", Json::from(c.tlb_penalty)),
+                    ("mem_stall", Json::from(c.mem_stall)),
+                    ("refs", Json::from(c.refs)),
+                ])
+            })
+            .collect(),
+    );
+    let l3 = Json::obj([
+        ("demand_reads", Json::from(r.l3.demand_reads)),
+        ("in_package_reads", Json::from(r.l3.in_package_reads)),
+        ("demand_latency_sum", Json::from(r.l3.demand_latency_sum)),
+        ("writebacks_in", Json::from(r.l3.writebacks_in)),
+        ("page_fills", Json::from(r.l3.page_fills)),
+        ("page_evictions", Json::from(r.l3.page_evictions)),
+        ("dirty_page_writebacks", Json::from(r.l3.dirty_page_writebacks)),
+        ("case_hit_hit", Json::from(r.l3.case_hit_hit)),
+        ("case_hit_miss", Json::from(r.l3.case_hit_miss)),
+        ("case_miss_hit", Json::from(r.l3.case_miss_hit)),
+        ("case_miss_miss", Json::from(r.l3.case_miss_miss)),
+        ("gipt_updates", Json::from(r.l3.gipt_updates)),
+        ("tag_probes", Json::from(r.l3.tag_probes)),
+        ("tag_energy_pj", Json::from(r.l3.tag_energy_pj)),
+        ("stale_writebacks", Json::from(r.l3.stale_writebacks)),
+        ("pu_suppressed_fills", Json::from(r.l3.pu_suppressed_fills)),
+    ]);
+    let dram = |s: &tdc_dram::DramStats| {
+        Json::obj([
+            ("reads", Json::from(s.reads)),
+            ("writes", Json::from(s.writes)),
+            ("row_hits", Json::from(s.row_hits)),
+            ("row_closed", Json::from(s.row_closed)),
+            ("row_conflicts", Json::from(s.row_conflicts)),
+            ("bytes_read", Json::from(s.bytes_read)),
+            ("bytes_written", Json::from(s.bytes_written)),
+            ("energy_pj", Json::from(s.energy_pj)),
+            ("bus_busy_cycles", Json::from(s.bus_busy_cycles)),
+        ])
+    };
+    let energy = Json::obj([
+        ("seconds", Json::from(r.energy.seconds)),
+        ("core_j", Json::from(r.energy.core_j)),
+        ("sram_j", Json::from(r.energy.sram_j)),
+        ("dram_j", Json::from(r.energy.dram_j)),
+        ("static_j", Json::from(r.energy.static_j)),
+        ("total_j", Json::from(r.energy.total_j)),
+        ("edp", Json::from(r.energy.edp)),
+    ]);
+    Json::obj([
+        ("key", Json::from(key)),
+        ("workload", Json::from(r.workload.as_str())),
+        ("org", Json::from(r.org.as_str())),
+        ("cores", cores),
+        ("l3", l3),
+        (
+            "in_pkg",
+            r.in_pkg.as_ref().map(&dram).unwrap_or(Json::Null),
+        ),
+        ("off_pkg", dram(&r.off_pkg)),
+        ("energy", energy),
+        (
+            "derived",
+            Json::obj([
+                ("ipc_total", Json::from(r.ipc_total())),
+                ("avg_l3_latency", Json::from(r.avg_l3_latency())),
+                ("in_package_fraction", Json::from(r.in_package_fraction())),
+                ("mpki", Json::from(r.mpki())),
+                ("makespan_cycles", Json::from(r.makespan_cycles())),
+            ]),
+        ),
+    ])
+}
+
+/// FNV-1a, for short stable filename suffixes.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect()
+}
+
+/// The per-run artifact filename for a cache key: readable prefix plus
+/// a hash of the full key (the key encodes config that the prefix
+/// omits).
+pub fn run_filename(key: &str, r: &RunReport) -> String {
+    format!(
+        "{}_{}_{:08x}.json",
+        sanitize(&r.workload),
+        sanitize(&r.org),
+        fnv1a(key) as u32
+    )
+}
+
+/// Serializes the run configuration (part of every artifact's
+/// provenance).
+pub fn config_json(cfg: &RunConfig) -> Json {
+    Json::obj([
+        ("seed", Json::from(cfg.seed)),
+        ("cache_bytes", Json::from(cfg.cache_bytes)),
+        ("warmup_refs", Json::from(cfg.warmup_refs)),
+        ("measured_refs", Json::from(cfg.measured_refs)),
+    ])
+}
+
+/// Writes every artifact for one harness invocation: per-figure
+/// summaries, per-run reports, and the index. Returns the paths
+/// written.
+pub fn write_results(
+    dir: &Path,
+    cfg: &RunConfig,
+    figures: &[FigureData],
+    runs: &[(String, Arc<RunReport>)],
+) -> io::Result<Vec<PathBuf>> {
+    let runs_dir = dir.join("runs");
+    fs::create_dir_all(&runs_dir)?;
+    let mut written = Vec::new();
+
+    for fig in figures {
+        let path = dir.join(format!("{}.json", fig.id));
+        fs::write(&path, fig.json.pretty())?;
+        written.push(path);
+    }
+
+    let mut run_files = Vec::new();
+    for (key, report) in runs {
+        let name = run_filename(key, report);
+        let path = runs_dir.join(&name);
+        fs::write(&path, report_json(key, report).pretty())?;
+        run_files.push(Json::obj([
+            ("key", Json::from(key.as_str())),
+            ("file", Json::from(format!("runs/{name}"))),
+        ]));
+        written.push(runs_dir.join(name));
+    }
+
+    let index = Json::obj([
+        ("config", config_json(cfg)),
+        (
+            "figures",
+            Json::Arr(
+                figures
+                    .iter()
+                    .map(|f| {
+                        Json::obj([
+                            ("id", Json::from(f.id)),
+                            ("title", Json::from(f.title.as_str())),
+                            ("file", Json::from(format!("{}.json", f.id))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("runs", Json::Arr(run_files)),
+    ]);
+    let index_path = dir.join("index.json");
+    fs::write(&index_path, index.pretty())?;
+    written.push(index_path);
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdc_core::experiment::{Job, OrgKind, Workload};
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let cfg = RunConfig {
+            seed: 3,
+            cache_bytes: 64 << 20,
+            warmup_refs: 1_000,
+            measured_refs: 3_000,
+        };
+        let job = Job::new(Workload::Spec("milc".into()), OrgKind::Tagless, cfg);
+        let report = job.execute().unwrap();
+        let key = job.cache_key();
+        let j = report_json(&key, &report);
+        let text = j.pretty();
+        let back = Json::parse(&text).expect("sink output parses");
+        // Full structural round-trip…
+        assert_eq!(back, j);
+        // …and spot-check values survive exactly.
+        assert_eq!(back.get("key").unwrap().as_str().unwrap(), key);
+        assert_eq!(
+            back.get("l3").unwrap().get("demand_reads").unwrap().as_u64().unwrap(),
+            report.l3.demand_reads
+        );
+        assert_eq!(
+            back.get("derived").unwrap().get("ipc_total").unwrap(),
+            &Json::F64(report.ipc_total())
+        );
+    }
+
+    #[test]
+    fn filenames_are_stable_and_filesystem_safe() {
+        let cfg = RunConfig::quick(1);
+        let job = Job::new(Workload::Spec("milc".into()), OrgKind::NoL3, cfg);
+        let report = job.execute().unwrap();
+        let a = run_filename(&job.cache_key(), &report);
+        let b = run_filename(&job.cache_key(), &report);
+        assert_eq!(a, b);
+        assert!(a.starts_with("milc_nol3_"), "unexpected filename {a}");
+        assert!(a.chars().all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c)));
+    }
+}

@@ -1,0 +1,107 @@
+//! The harness's central guarantee: results are bit-identical
+//! regardless of `--jobs`. A job's outcome is a pure function of the
+//! job itself, so the worker count can only change wall-clock time.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+use tdc_core::RunConfig;
+use tdc_harness::{generate, Harness, ALL_IDS};
+
+fn tiny() -> RunConfig {
+    RunConfig {
+        seed: 2015,
+        cache_bytes: 1 << 30,
+        warmup_refs: 1_000,
+        measured_refs: 2_000,
+    }
+}
+
+/// Generates the full figure set on one harness and returns every
+/// artifact that would be written, as strings.
+fn artifacts(threads: usize) -> Vec<(String, String)> {
+    let h = Harness::new(tiny(), threads);
+    let mut out = Vec::new();
+    for id in ALL_IDS {
+        let fig = generate(id, &h).expect("known id");
+        out.push((format!("{id}.json"), fig.json.pretty()));
+        out.push((format!("{id}.txt"), fig.text));
+    }
+    for (key, report) in h.results() {
+        out.push((key.clone(), tdc_harness::sink::report_json(&key, &report).pretty()));
+    }
+    out
+}
+
+#[test]
+fn figure_set_is_identical_for_1_and_4_workers() {
+    let serial = artifacts(1);
+    let parallel = artifacts(4);
+    assert_eq!(serial.len(), parallel.len());
+    for ((name_s, body_s), (name_p, body_p)) in serial.iter().zip(&parallel) {
+        assert_eq!(name_s, name_p);
+        assert_eq!(body_s, body_p, "artifact {name_s} differs between --jobs 1 and --jobs 4");
+    }
+}
+
+#[test]
+fn figures_share_the_cache_across_the_whole_set() {
+    let h = Harness::new(tiny(), 2);
+    for id in ALL_IDS {
+        generate(id, &h).expect("known id");
+    }
+    let s = h.stats();
+    // The serial path re-ran baselines per figure: 235 cells for this
+    // set. The shared cache must collapse that to the distinct ones.
+    assert_eq!(s.requested, 235, "job enumeration changed; update this test");
+    assert_eq!(s.executed, 168, "distinct-cell count changed; update this test");
+    assert_eq!(s.cache_hits, s.requested - s.executed);
+}
+
+fn read_tree(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d).expect("readable dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path.strip_prefix(dir).expect("under root").to_string_lossy().into_owned();
+                files.insert(rel, fs::read(&path).expect("readable file"));
+            }
+        }
+    }
+    files
+}
+
+#[test]
+fn tdc_all_artifacts_are_byte_identical_for_jobs_1_and_4() {
+    let base = std::env::temp_dir().join(format!("tdc-determinism-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+    let mut trees = Vec::new();
+    for jobs in ["1", "4"] {
+        let out = base.join(format!("jobs{jobs}"));
+        let status = Command::new(env!("CARGO_BIN_EXE_tdc"))
+            .args([
+                "all", "--jobs", jobs, "--scale", "0.001", "--quiet", "--out",
+                out.to_str().expect("utf-8 temp path"),
+            ])
+            .status()
+            .expect("tdc runs");
+        assert!(status.success(), "tdc all --jobs {jobs} failed");
+        trees.push(read_tree(&out));
+    }
+    let (a, b) = (&trees[0], &trees[1]);
+    assert!(!a.is_empty(), "no artifacts written");
+    assert_eq!(
+        a.keys().collect::<Vec<_>>(),
+        b.keys().collect::<Vec<_>>(),
+        "different artifact sets"
+    );
+    for (name, bytes) in a {
+        assert_eq!(bytes, &b[name], "results/{name} differs between --jobs 1 and --jobs 4");
+    }
+    let _ = fs::remove_dir_all(&base);
+}

@@ -17,7 +17,7 @@
 
 use crate::profiles::WorkloadProfile;
 use crate::record::{MemRef, TraceSource};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tdc_util::{Bernoulli, Geometric, Pcg32, Rng, VAddr, Vpn, Zipf, BLOCKS_PER_PAGE};
 
 /// Virtual address-space stride between workload instances: 2^28 pages
@@ -186,11 +186,15 @@ impl TraceSource for SyntheticWorkload {
 /// The generator is consumed by value so the profiling run cannot
 /// perturb a simulation's trace position; build a fresh, identically
 /// seeded instance for the actual run.
+///
+/// Returns an ordered map: consumers flag pages in iteration order,
+/// and that order must be deterministic (page-table node allocation is
+/// first-touch, so flagging order shifts frame placement and timing).
 pub fn page_access_counts(
     mut source: impl TraceSource,
     n_refs: u64,
-) -> HashMap<Vpn, u64> {
-    let mut counts = HashMap::new();
+) -> BTreeMap<Vpn, u64> {
+    let mut counts = BTreeMap::new();
     for _ in 0..n_refs {
         let r = source.next_ref();
         *counts.entry(r.vaddr.page()).or_insert(0) += 1;

@@ -11,6 +11,9 @@
 //!   Zipf, geometric, Bernoulli, weighted choice).
 //! * [`stats`] — streaming statistics (mean/variance via Welford),
 //!   histograms, and geometric means used by the experiment reports.
+//! * [`json`] — a dependency-free JSON value type with a deterministic
+//!   writer and strict parser, used by the experiment harness for its
+//!   `results/*.json` artifacts.
 //!
 //! # Examples
 //!
@@ -25,11 +28,13 @@
 //! ```
 
 pub mod dist;
+pub mod json;
 pub mod mem;
 pub mod rng;
 pub mod stats;
 
 pub use dist::{Bernoulli, Geometric, Uniform, WeightedIndex, Zipf};
+pub use json::{Json, JsonError};
 pub use mem::{CAddr, Cpn, Cycle, PAddr, Ppn, VAddr, Vpn};
 pub use mem::{BLOCKS_PER_PAGE, BLOCK_SHIFT, BLOCK_SIZE, PAGE_SHIFT, PAGE_SIZE};
 pub use rng::{Pcg32, Rng, SplitMix64};

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, and a scaled-down end-to-end sweep.
+#
+# Usage: scripts/ci.sh
+# The smoke run writes artifacts to a throwaway directory; nothing in
+# the repo is modified.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, all crates) =="
+cargo build --release --workspace
+
+echo "== tests (unit + property + integration) =="
+cargo test -q --workspace
+
+echo "== smoke: tdc all --jobs 2 at 5% scale =="
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+./target/release/tdc all --jobs 2 --scale 0.05 --quiet --out "$out"
+test -s "$out/index.json" || { echo "smoke run wrote no index.json" >&2; exit 1; }
+echo "ok: $(find "$out" -name '*.json' | wc -l) artifacts"

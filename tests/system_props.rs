@@ -1,37 +1,26 @@
-//! Property-based integration tests: the full system must uphold its
-//! invariants for arbitrary workload shapes and seeds.
+//! Randomized integration tests: the full system must uphold its
+//! invariants for arbitrary workload shapes and seeds. Cases are drawn
+//! from the workspace's deterministic PCG32 (no proptest; the container
+//! builds offline).
 
-use proptest::prelude::*;
-use tagless_dram_cache::prelude::*;
 use tagless_dram_cache::core::system::System;
+use tagless_dram_cache::prelude::*;
 use tagless_dram_cache::trace::WorkloadProfile;
+use tagless_dram_cache::util::{Pcg32, Rng};
 
-fn arbitrary_profile() -> impl Strategy<Value = WorkloadProfile> {
-    (
-        64u64..4096,          // footprint pages
-        0.0f64..1.5,          // zipf skew
-        0.0f64..=1.0,         // hot fraction
-        1.0f64..32.0,         // blocks per visit
-        1.0f64..8.0,          // stream blocks
-        1.0f64..4.0,          // stream region factor
-        1.0f64..4.0,          // repeats
-        0.0f64..=0.6,         // write fraction
-        0.0f64..100.0,        // gap
-    )
-        .prop_map(
-            |(fp, skew, hot, blocks, sblocks, sfactor, repeats, wfrac, gap)| WorkloadProfile {
-                name: "prop",
-                footprint_pages: fp,
-                zipf_skew: skew,
-                hot_visit_frac: hot,
-                mean_blocks_per_visit: blocks,
-                stream_blocks_per_visit: sblocks,
-                stream_region_factor: sfactor,
-                mean_repeats_per_block: repeats,
-                write_frac: wfrac,
-                mean_gap_instrs: gap,
-            },
-        )
+fn random_profile(rng: &mut Pcg32) -> WorkloadProfile {
+    WorkloadProfile {
+        name: "prop",
+        footprint_pages: 64 + rng.gen_range(4032),
+        zipf_skew: rng.next_f64() * 1.5,
+        hot_visit_frac: rng.next_f64(),
+        mean_blocks_per_visit: 1.0 + rng.next_f64() * 31.0,
+        stream_blocks_per_visit: 1.0 + rng.next_f64() * 7.0,
+        stream_region_factor: 1.0 + rng.next_f64() * 3.0,
+        mean_repeats_per_block: 1.0 + rng.next_f64() * 3.0,
+        write_frac: rng.next_f64() * 0.6,
+        mean_gap_instrs: rng.next_f64() * 100.0,
+    }
 }
 
 fn small_params(cores: usize) -> SystemParams {
@@ -41,40 +30,43 @@ fn small_params(cores: usize) -> SystemParams {
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn tagless_system_invariants_hold(profile in arbitrary_profile(), seed in any::<u64>()) {
+#[test]
+fn tagless_system_invariants_hold() {
+    for case in 0..16u64 {
+        let mut g = Pcg32::seed_from_u64(0x73797374 ^ case);
+        let profile = random_profile(&mut g);
+        let seed = g.next_u64();
         let params = small_params(1);
         let l3 = TaglessCache::new(&params, VictimPolicy::Fifo);
-        let trace: Box<dyn TraceSource> =
-            Box::new(SyntheticWorkload::new(profile, seed, 0));
+        let trace: Box<dyn TraceSource> = Box::new(SyntheticWorkload::new(profile, seed, 0));
         let mut sys = System::new(Box::new(l3), vec![trace]);
         let res = sys.run(2_000, 6_000);
         let c = &res[0];
-        prop_assert_eq!(c.refs, 6_000);
-        prop_assert!(c.instrs >= c.refs);
-        prop_assert!(c.cycles > 0);
-        prop_assert!(c.ipc > 0.0 && c.ipc <= 4.0, "ipc {} out of range", c.ipc);
+        assert_eq!(c.refs, 6_000);
+        assert!(c.instrs >= c.refs);
+        assert!(c.cycles > 0);
+        assert!(c.ipc > 0.0 && c.ipc <= 4.0, "ipc {} out of range", c.ipc);
 
         let s = sys.l3().stats();
         // Demand reads can only come from L2 misses.
-        prop_assert_eq!(s.demand_reads, c.l2_misses);
+        assert_eq!(s.demand_reads, c.l2_misses);
         // Every in-package read is a demand read.
-        prop_assert!(s.in_package_reads <= s.demand_reads);
+        assert!(s.in_package_reads <= s.demand_reads);
         // Average latency is sane (positive when reads exist).
         if s.demand_reads > 0 {
-            prop_assert!(s.avg_demand_latency() > 0.0);
+            assert!(s.avg_demand_latency() > 0.0);
         }
         // Tagless never probes SRAM tags.
-        prop_assert_eq!(s.tag_probes, 0);
+        assert_eq!(s.tag_probes, 0);
         // Evictions never exceed fills.
-        prop_assert!(s.page_evictions <= s.page_fills);
+        assert!(s.page_evictions <= s.page_fills);
     }
+}
 
-    #[test]
-    fn multicore_tagless_conserves_case_counts(seed in any::<u64>()) {
+#[test]
+fn multicore_tagless_conserves_case_counts() {
+    for case in 0..8u64 {
+        let seed = Pcg32::seed_from_u64(0x6d756c74 ^ case).next_u64();
         let params = small_params(2);
         let l3 = TaglessCache::new(&params, VictimPolicy::Fifo);
         let profile = profiles::spec("omnetpp").expect("known").clone();
@@ -90,13 +82,16 @@ proptest! {
         let s = sys.l3().stats();
         let translations: u64 = res.iter().map(|c| c.refs).sum();
         let cases = s.case_hit_hit + s.case_hit_miss + s.case_miss_hit + s.case_miss_miss;
-        prop_assert_eq!(cases, translations);
+        assert_eq!(cases, translations);
     }
+}
 
-    #[test]
-    fn all_organizations_agree_on_work_done(seed in any::<u64>()) {
-        // Same trace through every organization: identical instruction
-        // counts and reference counts (timing differs, work does not).
+#[test]
+fn all_organizations_agree_on_work_done() {
+    // Same trace through every organization: identical instruction
+    // counts and reference counts (timing differs, work does not).
+    for case in 0..8u64 {
+        let seed = Pcg32::seed_from_u64(0x6f726773 ^ case).next_u64();
         let mut profile = profiles::spec("sphinx3").expect("known").clone();
         profile.footprint_pages = 1024;
         let mut instrs = Vec::new();
@@ -108,6 +103,6 @@ proptest! {
             let res = sys.run(500, 2_000);
             instrs.push(res[0].instrs);
         }
-        prop_assert!(instrs.windows(2).all(|w| w[0] == w[1]), "{instrs:?}");
+        assert!(instrs.windows(2).all(|w| w[0] == w[1]), "{instrs:?}");
     }
 }
