@@ -5,7 +5,11 @@
 //!
 //! Run with `cargo bench -p tdc-bench --bench micro`. Each benchmark is
 //! timed with `std::time::Instant` over a fixed iteration budget (no
-//! external benchmarking crate; the container builds offline).
+//! external benchmarking crate; the container builds offline), repeated
+//! `TDC_BENCH_RUNS` times (default 3), and reported as the **median**
+//! ns/op across runs — one noisy scheduler hiccup cannot skew the
+//! number. The full table is also written to
+//! `results/bench.json` (directory override: `TDC_BENCH_OUT`).
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -13,25 +17,90 @@ use tdc_dram::{AccessKind, DramConfig, DramController};
 use tdc_dram_cache::{L3System, SramTagCache, SystemParams, TaglessCache, VictimPolicy};
 use tdc_sram_cache::{CacheGeometry, Replacement, SetAssocCache};
 use tdc_trace::{profiles, SyntheticWorkload, TraceSource};
-use tdc_util::{Pcg32, Rng, Vpn, Zipf};
+use tdc_util::{Json, Pcg32, Rng, Vpn, Zipf};
 
-/// Times `iters` calls of `f` after a 1/10 warmup pass and prints ns/op.
-fn bench<T>(name: &str, iters: u64, mut f: impl FnMut() -> T) {
+/// One benchmark's aggregated timing across repeated runs.
+struct BenchRecord {
+    group: &'static str,
+    name: &'static str,
+    iters: u64,
+    runs: Vec<f64>, // ns/op per run, in execution order
+}
+
+impl BenchRecord {
+    fn sorted(&self) -> Vec<f64> {
+        let mut s = self.runs.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        s
+    }
+
+    /// Median ns/op (lower-middle for even run counts).
+    fn median(&self) -> f64 {
+        let s = self.sorted();
+        s[(s.len() - 1) / 2]
+    }
+
+    fn min(&self) -> f64 {
+        self.sorted()[0]
+    }
+
+    fn max(&self) -> f64 {
+        *self.sorted().last().expect("at least one run")
+    }
+
+    fn json(&self) -> Json {
+        Json::obj([
+            ("group", Json::from(self.group)),
+            ("name", Json::from(self.name)),
+            ("iters", Json::from(self.iters)),
+            ("runs", Json::from(self.runs.len() as u64)),
+            ("ns_per_op_median", Json::from(self.median())),
+            ("ns_per_op_min", Json::from(self.min())),
+            ("ns_per_op_max", Json::from(self.max())),
+        ])
+    }
+}
+
+/// How many timed repetitions each benchmark gets.
+fn bench_runs() -> usize {
+    std::env::var("TDC_BENCH_RUNS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// Times `iters` calls of `f`, repeated across runs after one 1/10
+/// warmup pass; prints median (min..max) ns/op and records the result.
+fn bench<T>(
+    out: &mut Vec<BenchRecord>,
+    group: &'static str,
+    name: &'static str,
+    iters: u64,
+    mut f: impl FnMut() -> T,
+) {
     for _ in 0..iters / 10 {
         black_box(f());
     }
-    let start = Instant::now();
-    for _ in 0..iters {
-        black_box(f());
+    let mut runs = Vec::new();
+    for _ in 0..bench_runs() {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        runs.push(start.elapsed().as_nanos() as f64 / iters as f64);
     }
-    let elapsed = start.elapsed();
+    let rec = BenchRecord { group, name, iters, runs };
     println!(
-        "{:<28} {:>12.1} ns/op   ({} iters in {:.3?})",
+        "{:<28} {:>12.1} ns/op   (median of {}, min {:.1} max {:.1}, {} iters/run)",
         name,
-        elapsed.as_nanos() as f64 / iters as f64,
-        iters,
-        elapsed
+        rec.median(),
+        rec.runs.len(),
+        rec.min(),
+        rec.max(),
+        iters
     );
+    out.push(rec);
 }
 
 fn small_params() -> SystemParams {
@@ -41,13 +110,14 @@ fn small_params() -> SystemParams {
     p
 }
 
-fn bench_dram_controller() {
+fn bench_dram_controller(out: &mut Vec<BenchRecord>) {
     println!("-- dram_controller --");
+    let group = "dram_controller";
     {
         let mut m = DramController::new(DramConfig::in_package_1gb());
         let mut now = 0u64;
         let mut addr = 0u64;
-        bench("block_read_row_hits", 2_000_000, || {
+        bench(out, group, "block_read_row_hits", 2_000_000, || {
             let r = m.access(now, addr % (1 << 28), AccessKind::Read, 64);
             now = r.first_data;
             addr += 64;
@@ -58,7 +128,7 @@ fn bench_dram_controller() {
         let mut m = DramController::new(DramConfig::off_package_8gb());
         let mut rng = Pcg32::seed_from_u64(1);
         let mut now = 0u64;
-        bench("block_read_random", 2_000_000, || {
+        bench(out, group, "block_read_random", 2_000_000, || {
             let r = m.access(now, rng.gen_range(1 << 33), AccessKind::Read, 64);
             now = r.first_data;
             r.first_data
@@ -68,7 +138,7 @@ fn bench_dram_controller() {
         let mut m = DramController::new(DramConfig::off_package_8gb());
         let mut rng = Pcg32::seed_from_u64(2);
         let mut now = 0u64;
-        bench("page_fill_4kb", 500_000, || {
+        bench(out, group, "page_fill_4kb", 500_000, || {
             let r = m.access(now, rng.gen_range(1 << 33) & !4095, AccessKind::Read, 4096);
             now = r.first_data;
             r.done
@@ -76,8 +146,9 @@ fn bench_dram_controller() {
     }
 }
 
-fn bench_access_paths() {
+fn bench_access_paths(out: &mut Vec<BenchRecord>) {
     println!("-- access_path --");
+    let group = "access_path";
     // The headline comparison: cost of one translate+access on the
     // tagless path vs the SRAM-tag path, warm state.
     {
@@ -88,7 +159,7 @@ fn bench_access_paths() {
         }
         let mut now = 1_000_000u64;
         let mut v = 0u64;
-        bench("tagless_warm_hit", 1_000_000, || {
+        bench(out, group, "tagless_warm_hit", 1_000_000, || {
             let tr = l3.translate(now, 0, Vpn(v % 16), false);
             let m = l3.access(now + tr.penalty, 0, tr.frame, tr.nc, v % 64);
             now += 200;
@@ -105,7 +176,7 @@ fn bench_access_paths() {
         }
         let mut now = 1_000_000u64;
         let mut v = 0u64;
-        bench("sram_tag_warm_hit", 1_000_000, || {
+        bench(out, group, "sram_tag_warm_hit", 1_000_000, || {
             let tr = l3.translate(now, 0, Vpn(v % 16), false);
             let m = l3.access(now + tr.penalty, 0, tr.frame, tr.nc, v % 64);
             now += 200;
@@ -118,7 +189,7 @@ fn bench_access_paths() {
         let mut l3 = TaglessCache::new(&p, VictimPolicy::Fifo);
         let mut now = 0u64;
         let mut v = 0u64;
-        bench("tagless_cold_fill", 200_000, || {
+        bench(out, group, "tagless_cold_fill", 200_000, || {
             let tr = l3.translate(now, 0, Vpn(v), false);
             now += tr.penalty + 100;
             v += 1;
@@ -127,34 +198,57 @@ fn bench_access_paths() {
     }
 }
 
-fn bench_sram_cache() {
+fn bench_sram_cache(out: &mut Vec<BenchRecord>) {
     println!("-- set_assoc_cache --");
     for (name, repl) in [("lru", Replacement::Lru), ("fifo", Replacement::Fifo)] {
         let geom = CacheGeometry::new(2 << 20, 64, 16).expect("valid");
         let mut cache = SetAssocCache::new(geom, repl);
         let mut rng = Pcg32::seed_from_u64(3);
-        bench(name, 2_000_000, || {
+        bench(out, "set_assoc_cache", name, 2_000_000, || {
             let r = cache.access(rng.gen_range(16 << 20), false);
             r.hit
         });
     }
 }
 
-fn bench_trace_generation() {
+fn bench_trace_generation(out: &mut Vec<BenchRecord>) {
     println!("-- trace_gen --");
     for name in ["mcf", "libquantum"] {
         let mut w = SyntheticWorkload::new(profiles::spec(name).expect("known").clone(), 7, 0);
-        bench(name, 2_000_000, || w.next_ref());
+        bench(out, "trace_gen", name, 2_000_000, || w.next_ref());
     }
     let z = Zipf::new(1 << 20, 0.95).expect("valid");
     let mut rng = Pcg32::seed_from_u64(5);
-    bench("zipf_sample", 2_000_000, || z.sample(&mut rng));
+    bench(out, "trace_gen", "zipf_sample", 2_000_000, || z.sample(&mut rng));
+}
+
+/// Writes the full result table to `<TDC_BENCH_OUT|results>/bench.json`.
+fn write_json(records: &[BenchRecord]) {
+    let dir = std::env::var("TDC_BENCH_OUT").unwrap_or_else(|_| "results".into());
+    let dir = std::path::Path::new(&dir);
+    let doc = Json::obj([
+        ("runs_per_bench", Json::from(bench_runs() as u64)),
+        (
+            "benches",
+            Json::Arr(records.iter().map(BenchRecord::json).collect()),
+        ),
+    ]);
+    let path = dir.join("bench.json");
+    match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, doc.pretty())) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }
 
 fn main() {
-    println!("tagless-dram-cache microbenches (std::time, no harness)");
-    bench_dram_controller();
-    bench_access_paths();
-    bench_sram_cache();
-    bench_trace_generation();
+    println!(
+        "tagless-dram-cache microbenches (std::time, median of {} runs)",
+        bench_runs()
+    );
+    let mut records = Vec::new();
+    bench_dram_controller(&mut records);
+    bench_access_paths(&mut records);
+    bench_sram_cache(&mut records);
+    bench_trace_generation(&mut records);
+    write_json(&records);
 }

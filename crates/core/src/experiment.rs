@@ -7,6 +7,7 @@ use tdc_dram_cache::{
     BankInterleave, Ideal, L3System, NoL3, SramTagCache, SystemParams, TaglessCache, VictimPolicy,
 };
 use tdc_sram_cache::TagArrayModel;
+use tdc_util::probe::{NoProbe, Probe};
 use tdc_util::PAGE_SIZE;
 use tdc_trace::{page_access_counts, profiles, ParsecTraces, SyntheticWorkload, TraceSource, WorkloadProfile};
 
@@ -192,8 +193,8 @@ fn finish(
     }
 }
 
-fn run_system(
-    mut sys: System,
+fn run_system<P: Probe>(
+    mut sys: System<P>,
     workload: &str,
     cfg: &RunConfig,
     is_sram: bool,
@@ -203,23 +204,57 @@ fn run_system(
     finish(sys.l3(), &name, workload, cores, cfg.cache_bytes, is_sram)
 }
 
-/// Runs one single-programmed SPEC benchmark on one core (Figs. 7/8).
-///
-/// Returns `None` for an unknown benchmark name.
-pub fn run_single(bench: &str, org: OrgKind, cfg: &RunConfig) -> Option<RunReport> {
+/// Builds `org` with `probe` installed where the organization supports
+/// instrumentation (the tagless variants); the other organizations are
+/// built uninstrumented — their DRAM traffic is not probed, but the
+/// core-side events still flow through the [`System`]'s own probe.
+fn build_probed<P: Probe + Clone + 'static>(
+    org: OrgKind,
+    params: &SystemParams,
+    probe: P,
+) -> Box<dyn L3System> {
+    match org {
+        OrgKind::Tagless => Box::new(TaglessCache::with_probe(
+            params,
+            VictimPolicy::Fifo,
+            probe,
+        )),
+        OrgKind::TaglessLru => Box::new(TaglessCache::with_probe(
+            params,
+            VictimPolicy::Lru,
+            probe,
+        )),
+        other => other.build(params),
+    }
+}
+
+fn run_single_with<P: Probe + Clone + 'static>(
+    bench: &str,
+    org: OrgKind,
+    cfg: &RunConfig,
+    probe: P,
+) -> Option<RunReport> {
     let profile = scaled(profiles::spec(bench)?);
     let params = cfg.params(1, vec![0]);
     let trace: Box<dyn TraceSource> =
         Box::new(SyntheticWorkload::new(profile.clone(), cfg.seed, 0));
-    let sys = System::new(org.build(&params), vec![trace]);
+    let sys = System::with_probe(build_probed(org, &params, probe.clone()), vec![trace], probe);
     Some(run_system(sys, profile.name, cfg, org == OrgKind::SramTag))
 }
 
-/// Runs one Table 5 multi-programmed mix on four cores with private
-/// address spaces (Figs. 9/10/11).
+/// Runs one single-programmed SPEC benchmark on one core (Figs. 7/8).
 ///
-/// Returns `None` for an unknown mix name.
-pub fn run_mix(mix_name: &str, org: OrgKind, cfg: &RunConfig) -> Option<RunReport> {
+/// Returns `None` for an unknown benchmark name.
+pub fn run_single(bench: &str, org: OrgKind, cfg: &RunConfig) -> Option<RunReport> {
+    run_single_with(bench, org, cfg, NoProbe)
+}
+
+fn run_mix_with<P: Probe + Clone + 'static>(
+    mix_name: &str,
+    org: OrgKind,
+    cfg: &RunConfig,
+    probe: P,
+) -> Option<RunReport> {
     let four = profiles::mix(mix_name)?;
     let params = cfg.params(4, vec![0, 1, 2, 3]);
     let traces: Vec<Box<dyn TraceSource>> = four
@@ -233,10 +268,38 @@ pub fn run_mix(mix_name: &str, org: OrgKind, cfg: &RunConfig) -> Option<RunRepor
             ))
         })
         .collect();
-    let sys = System::new(org.build(&params), traces);
+    let sys = System::with_probe(build_probed(org, &params, probe.clone()), traces, probe);
     Some(run_system(
         sys,
         &mix_name.to_uppercase(),
+        cfg,
+        org == OrgKind::SramTag,
+    ))
+}
+
+/// Runs one Table 5 multi-programmed mix on four cores with private
+/// address spaces (Figs. 9/10/11).
+///
+/// Returns `None` for an unknown mix name.
+pub fn run_mix(mix_name: &str, org: OrgKind, cfg: &RunConfig) -> Option<RunReport> {
+    run_mix_with(mix_name, org, cfg, NoProbe)
+}
+
+fn run_parsec_with<P: Probe + Clone + 'static>(
+    bench: &str,
+    org: OrgKind,
+    cfg: &RunConfig,
+    probe: P,
+) -> Option<RunReport> {
+    let parsec = ParsecTraces::with_profile(scaled(profiles::parsec(bench)?), cfg.seed);
+    let params = cfg.params(4, vec![0; 4]);
+    let traces: Vec<Box<dyn TraceSource>> = (0..parsec.threads())
+        .map(|t| -> Box<dyn TraceSource> { Box::new(parsec.thread(t)) })
+        .collect();
+    let sys = System::with_probe(build_probed(org, &params, probe.clone()), traces, probe);
+    Some(run_system(
+        sys,
+        parsec.profile().name,
         cfg,
         org == OrgKind::SramTag,
     ))
@@ -247,29 +310,18 @@ pub fn run_mix(mix_name: &str, org: OrgKind, cfg: &RunConfig) -> Option<RunRepor
 ///
 /// Returns `None` for an unknown benchmark name.
 pub fn run_parsec(bench: &str, org: OrgKind, cfg: &RunConfig) -> Option<RunReport> {
-    let parsec = ParsecTraces::with_profile(scaled(profiles::parsec(bench)?), cfg.seed);
-    let params = cfg.params(4, vec![0; 4]);
-    let traces: Vec<Box<dyn TraceSource>> = (0..parsec.threads())
-        .map(|t| -> Box<dyn TraceSource> { Box::new(parsec.thread(t)) })
-        .collect();
-    let sys = System::new(org.build(&params), traces);
-    Some(run_system(
-        sys,
-        parsec.profile().name,
-        cfg,
-        org == OrgKind::SramTag,
-    ))
+    run_parsec_with(bench, org, cfg, NoProbe)
 }
 
-/// Runs a single-programmed benchmark on the tagless cache with the
-/// §5.4 non-cacheable optimization: an offline profiling pass marks
-/// every page with fewer than `threshold` accesses as non-cacheable.
-///
-/// Returns `None` for an unknown benchmark name.
-pub fn run_single_tagless_nc(bench: &str, cfg: &RunConfig, threshold: u64) -> Option<RunReport> {
+fn run_single_tagless_nc_with<P: Probe + Clone + 'static>(
+    bench: &str,
+    cfg: &RunConfig,
+    threshold: u64,
+    probe: P,
+) -> Option<RunReport> {
     let profile = scaled(profiles::spec(bench)?);
     let params = cfg.params(1, vec![0]);
-    let mut l3 = TaglessCache::new(&params, VictimPolicy::Fifo);
+    let mut l3 = TaglessCache::with_probe(&params, VictimPolicy::Fifo, probe.clone());
 
     // Offline profiling pass over the exact trace the run will see.
     let profiling = SyntheticWorkload::new(profile.clone(), cfg.seed, 0);
@@ -285,10 +337,19 @@ pub fn run_single_tagless_nc(bench: &str, cfg: &RunConfig, threshold: u64) -> Op
 
     let trace: Box<dyn TraceSource> =
         Box::new(SyntheticWorkload::new(profile.clone(), cfg.seed, 0));
-    let sys = System::new(Box::new(l3), vec![trace]);
+    let sys = System::with_probe(Box::new(l3), vec![trace], probe);
     let mut report = run_system(sys, profile.name, cfg, false);
     report.org = "cTLB+NC".to_string();
     Some(report)
+}
+
+/// Runs a single-programmed benchmark on the tagless cache with the
+/// §5.4 non-cacheable optimization: an offline profiling pass marks
+/// every page with fewer than `threshold` accesses as non-cacheable.
+///
+/// Returns `None` for an unknown benchmark name.
+pub fn run_single_tagless_nc(bench: &str, cfg: &RunConfig, threshold: u64) -> Option<RunReport> {
+    run_single_tagless_nc_with(bench, cfg, threshold, NoProbe)
 }
 
 /// Runs one single-programmed benchmark on a custom-built organization
@@ -414,16 +475,33 @@ impl Job {
 
     /// Runs the cell. `Err` names the unknown workload.
     pub fn execute(&self) -> Result<RunReport, String> {
-        let missing = || format!("unknown workload {:?}", self.workload);
-        match (&self.workload, self.nc_threshold) {
-            (Workload::Spec(b), Some(t)) => {
-                run_single_tagless_nc(b, &self.cfg, t).ok_or_else(missing)
-            }
-            (Workload::Spec(b), None) => run_single(b, self.org, &self.cfg).ok_or_else(missing),
-            (Workload::Mix(m), None) => run_mix(m, self.org, &self.cfg).ok_or_else(missing),
-            (Workload::Parsec(b), None) => run_parsec(b, self.org, &self.cfg).ok_or_else(missing),
-            (w, Some(_)) => Err(format!("non-cacheable study needs a Spec workload, got {w:?}")),
+        run_job_probed(self, NoProbe)
+    }
+}
+
+/// Runs a cell with `probe` installed through the whole stack: core
+/// retire/stall epochs, cTLB levels, the tagless miss handler, and both
+/// DRAM devices all report cycle-stamped events into clones of it.
+///
+/// Non-tagless organizations only produce the core-side events.
+/// `Err` names the unknown workload.
+pub fn run_job_probed<P: Probe + Clone + 'static>(
+    job: &Job,
+    probe: P,
+) -> Result<RunReport, String> {
+    let missing = || format!("unknown workload {:?}", job.workload);
+    match (&job.workload, job.nc_threshold) {
+        (Workload::Spec(b), Some(t)) => {
+            run_single_tagless_nc_with(b, &job.cfg, t, probe).ok_or_else(missing)
         }
+        (Workload::Spec(b), None) => {
+            run_single_with(b, job.org, &job.cfg, probe).ok_or_else(missing)
+        }
+        (Workload::Mix(m), None) => run_mix_with(m, job.org, &job.cfg, probe).ok_or_else(missing),
+        (Workload::Parsec(b), None) => {
+            run_parsec_with(b, job.org, &job.cfg, probe).ok_or_else(missing)
+        }
+        (w, Some(_)) => Err(format!("non-cacheable study needs a Spec workload, got {w:?}")),
     }
 }
 

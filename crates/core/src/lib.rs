@@ -38,6 +38,8 @@ pub mod system;
 pub use amat::{AmatInputs, AmatModel};
 pub use core_model::{CoreParams, CoreState};
 pub use energy::{EnergyModel, EnergyReport};
-pub use experiment::{run_mix, run_parsec, run_single, Job, OrgKind, RunConfig, Workload};
+pub use experiment::{
+    run_job_probed, run_mix, run_parsec, run_single, Job, OrgKind, RunConfig, Workload,
+};
 pub use metrics::RunReport;
 pub use system::System;

@@ -131,6 +131,47 @@ mod tests {
     }
 
     #[test]
+    fn avg_l3_latency_amortizes_tlb_penalty_across_cores() {
+        // Hand-computed pin of the Fig. 8 quantity. Two cores with
+        // different translation overheads share one L3:
+        //   demand_latency_sum = 1_200 cycles over 40 demand reads,
+        //   core 0 tlb_penalty = 300, core 1 tlb_penalty = 500.
+        // avg = (1200 + 300 + 500) / 40 = 50 exactly.
+        let mut r = fake_report(1.0, 1.0);
+        r.cores = vec![fake_core(1.0, 1_000), fake_core(1.0, 1_000)];
+        r.cores[0].tlb_penalty = 300;
+        r.cores[1].tlb_penalty = 500;
+        r.l3.demand_reads = 40;
+        r.l3.demand_latency_sum = 1_200;
+        assert!((r.avg_l3_latency() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_l3_latency_is_zero_without_demand_reads() {
+        let mut r = fake_report(1.0, 1.0);
+        r.l3.demand_reads = 0;
+        r.l3.demand_latency_sum = 0;
+        // Division guard: no reads must not produce NaN.
+        assert_eq!(r.avg_l3_latency(), 0.0);
+    }
+
+    #[test]
+    fn zero_instruction_run_yields_finite_metrics() {
+        // A run whose measured phase retired nothing (e.g. a degenerate
+        // warmup-only configuration) must report zeros, not NaN/inf.
+        let mut r = fake_report(0.0, 1.0);
+        for c in &mut r.cores {
+            c.instrs = 0;
+            c.ipc = 0.0;
+            c.l2_misses = 7; // misses with no instructions: worst case
+        }
+        assert_eq!(r.instrs_total(), 0);
+        assert_eq!(r.mpki(), 0.0);
+        assert_eq!(r.ipc_total(), 0.0);
+        assert!(r.mpki().is_finite() && r.ipc_total().is_finite());
+    }
+
+    #[test]
     fn normalization() {
         let base = fake_report(1.0, 1.0);
         let better = fake_report(1.3, 0.8);

@@ -9,6 +9,7 @@ use crate::core_model::{CoreParams, CoreState};
 use tdc_dram_cache::{Frame, L3System};
 use tdc_sram_cache::{CacheGeometry, Replacement, SetAssocCache};
 use tdc_trace::TraceSource;
+use tdc_util::probe::{NoProbe, Probe, ProbeEvent};
 use tdc_util::Cycle;
 
 /// On-die cache latencies (paper Table 3).
@@ -91,9 +92,10 @@ pub struct CoreResult {
 }
 
 /// A complete simulated machine.
-pub struct System {
+pub struct System<P: Probe = NoProbe> {
     l3: Box<dyn L3System>,
     cores: Vec<CoreCtx>,
+    probe: P,
 }
 
 impl System {
@@ -103,6 +105,23 @@ impl System {
     ///
     /// Panics if `traces` is empty.
     pub fn new(l3: Box<dyn L3System>, traces: Vec<Box<dyn TraceSource>>) -> Self {
+        Self::with_probe(l3, traces, NoProbe)
+    }
+}
+
+impl<P: Probe> System<P> {
+    /// Builds an instrumented system: core retire/stall epochs are
+    /// reported into `probe` (the L3 organization carries its own probe
+    /// handle, installed when it was built).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty.
+    pub fn with_probe(
+        l3: Box<dyn L3System>,
+        traces: Vec<Box<dyn TraceSource>>,
+        probe: P,
+    ) -> Self {
         assert!(!traces.is_empty(), "need at least one core trace");
         let params = CoreParams::paper_default();
         Self {
@@ -111,6 +130,7 @@ impl System {
                 .into_iter()
                 .map(|t| CoreCtx::new(params, t))
                 .collect(),
+            probe,
         }
     }
 
@@ -131,6 +151,15 @@ impl System {
         ctx.core.retire(r.gap_instrs as u64 + 1);
         ctx.refs_done += 1;
         let now = ctx.core.clock();
+        if self.probe.enabled() {
+            self.probe.emit(
+                now,
+                ProbeEvent::Retire {
+                    core: i as u8,
+                    instrs: r.gap_instrs as u64 + 1,
+                },
+            );
+        }
 
         // Translation (cTLB or conventional TLB).
         let tr = self.l3.translate(now, i, r.vaddr.page(), r.is_write);
@@ -138,6 +167,15 @@ impl System {
         if tr.penalty > 0 {
             ctx.core.tlb_stall(tr.penalty);
             ctx.tlb_penalty_sum += tr.penalty;
+            if self.probe.enabled() {
+                self.probe.emit(
+                    now,
+                    ProbeEvent::TlbStall {
+                        core: i as u8,
+                        cycles: tr.penalty,
+                    },
+                );
+            }
         }
         let now = ctx.core.clock();
 
@@ -182,7 +220,19 @@ impl System {
         // The miss can only be issued to the memory system once an MSHR
         // (miss-window slot) is available; issuing first and queueing
         // later would double-count contention.
+        let stall_before = ctx.core.stall_cycles();
+        let pre_wait = ctx.core.clock();
         ctx.core.wait_for_miss_slot();
+        let stalled = ctx.core.stall_cycles() - stall_before;
+        if stalled > 0 && self.probe.enabled() {
+            self.probe.emit(
+                pre_wait,
+                ProbeEvent::MemStall {
+                    core: i as u8,
+                    cycles: stalled,
+                },
+            );
+        }
         let now = ctx.core.clock();
         let m = self.l3.access(now, i, tr.frame, tr.nc, block);
         self.cores[i]

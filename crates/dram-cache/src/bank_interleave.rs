@@ -59,7 +59,7 @@ impl BankInterleave {
     }
 
     fn placement(&self, ppn: Ppn, block: u64) -> (bool, u64) {
-        if ppn.0 % self.stride == 0 {
+        if ppn.0.is_multiple_of(self.stride) {
             let page = (ppn.0 / self.stride) % self.in_pkg_pages;
             (true, page * PAGE_SIZE + block * 64)
         } else {

@@ -7,6 +7,7 @@
 use crate::walker_model::WalkerModel;
 use tdc_dram::DramController;
 use tdc_tlb::{Tlb, TlbEntry};
+use tdc_util::probe::{NoProbe, Probe};
 use tdc_util::{Cycle, Vpn};
 
 /// TLB hierarchy shape and latencies (paper Table 3).
@@ -48,9 +49,9 @@ pub enum TlbQuery {
 
 /// One core's MMU.
 #[derive(Debug, Clone)]
-pub struct Mmu {
-    l1: Tlb,
-    l2: Tlb,
+pub struct Mmu<P: Probe = NoProbe> {
+    l1: Tlb<P>,
+    l2: Tlb<P>,
     walker: WalkerModel,
     params: MmuParams,
 }
@@ -62,14 +63,30 @@ impl Mmu {
     ///
     /// Panics if the parameters describe an impossible TLB shape.
     pub fn new(params: MmuParams, asid: u32) -> Self {
+        Self::with_probe(params, asid, NoProbe)
+    }
+}
+
+impl<P: Probe + Clone> Mmu<P> {
+    /// Builds an instrumented MMU; both TLB levels report into `probe`
+    /// (tagged level 1 and 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters describe an impossible TLB shape.
+    pub fn with_probe(params: MmuParams, asid: u32, probe: P) -> Self {
         Self {
-            l1: Tlb::new(params.l1_entries, params.l1_entries).expect("valid L1 TLB shape"),
-            l2: Tlb::new(params.l2_entries, params.l2_ways).expect("valid L2 TLB shape"),
+            l1: Tlb::with_probe(params.l1_entries, params.l1_entries, 1, probe.clone())
+                .expect("valid L1 TLB shape"),
+            l2: Tlb::with_probe(params.l2_entries, params.l2_ways, 2, probe)
+                .expect("valid L2 TLB shape"),
             walker: WalkerModel::new(asid),
             params,
         }
     }
+}
 
+impl<P: Probe> Mmu<P> {
     /// The configured parameters.
     pub fn params(&self) -> &MmuParams {
         &self.params
@@ -77,13 +94,18 @@ impl Mmu {
 
     /// Looks up `vpn`, promoting L2 hits into L1.
     pub fn lookup(&mut self, vpn: Vpn) -> TlbQuery {
-        if let Some(e) = self.l1.lookup(vpn) {
+        self.lookup_at(0, vpn)
+    }
+
+    /// [`Mmu::lookup`] with an explicit cycle stamp for probe events.
+    pub fn lookup_at(&mut self, now: Cycle, vpn: Vpn) -> TlbQuery {
+        if let Some(e) = self.l1.lookup_at(now, vpn) {
             return TlbQuery::L1Hit(e);
         }
-        if let Some(e) = self.l2.lookup(vpn) {
+        if let Some(e) = self.l2.lookup_at(now, vpn) {
             // Promote to L1; the L1 victim stays resident in L2
             // (inclusive hierarchy).
-            self.l1.insert(vpn, e);
+            self.l1.insert_at(now, vpn, e);
             return TlbQuery::L2Hit(e);
         }
         TlbQuery::Miss
@@ -91,8 +113,13 @@ impl Mmu {
 
     /// Installs a translation in both levels (miss handler return path).
     pub fn insert(&mut self, vpn: Vpn, entry: TlbEntry) {
-        self.l2.insert(vpn, entry);
-        self.l1.insert(vpn, entry);
+        self.insert_at(0, vpn, entry);
+    }
+
+    /// [`Mmu::insert`] with an explicit cycle stamp for probe events.
+    pub fn insert_at(&mut self, now: Cycle, vpn: Vpn, entry: TlbEntry) {
+        self.l2.insert_at(now, vpn, entry);
+        self.l1.insert_at(now, vpn, entry);
     }
 
     /// Residence probe for the GIPT's TLB bit vector: is `vpn` mapped by
@@ -109,7 +136,12 @@ impl Mmu {
 
     /// Runs the page walk, charging PTE misses to off-package DRAM;
     /// returns the completion time.
-    pub fn walk(&mut self, now: Cycle, vpn: Vpn, off_pkg: &mut DramController) -> Cycle {
+    pub fn walk<Q: Probe>(
+        &mut self,
+        now: Cycle,
+        vpn: Vpn,
+        off_pkg: &mut DramController<Q>,
+    ) -> Cycle {
         self.walker.walk(now, vpn, off_pkg)
     }
 

@@ -30,6 +30,7 @@ use crate::slots::{SlotRing, VictimPolicy};
 use std::collections::HashMap;
 use tdc_dram::{AccessKind, DramController, DramStats};
 use tdc_tlb::{walk_addresses, PageTable, TlbEntry, Translation};
+use tdc_util::probe::{Device, NoProbe, Probe, ProbeEvent};
 use tdc_util::{Cpn, Cycle, Vpn, PAGE_SIZE};
 
 /// Physical region backing the GIPT itself (its updates are real
@@ -40,14 +41,15 @@ const GIPT_REGION_BASE: u64 = 0x7100_0000_0000;
 const GIPT_WRITE_BYTES: u64 = 64;
 
 /// The tagless DRAM cache organization.
-pub struct TaglessCache {
-    mmus: Vec<Mmu>,
+pub struct TaglessCache<P: Probe = NoProbe> {
+    mmus: Vec<Mmu<P>>,
     core_asid: Vec<u32>,
     page_tables: Vec<PageTable>,
     gipt: Gipt,
     ring: SlotRing,
-    in_pkg: DramController,
-    off_pkg: DramController,
+    in_pkg: DramController<P>,
+    off_pkg: DramController<P>,
+    probe: P,
     /// PU bit: fills in flight, keyed by (asid, vpn), holding the cycle
     /// the copy completes.
     pending_fills: HashMap<(u32, u64), Cycle>,
@@ -82,7 +84,7 @@ struct AliasTable {
     hits: u64,
 }
 
-impl std::fmt::Debug for TaglessCache {
+impl<P: Probe> std::fmt::Debug for TaglessCache<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TaglessCache")
             .field("slots", &self.ring.len())
@@ -100,20 +102,42 @@ impl TaglessCache {
     ///
     /// Panics if `params` fails validation.
     pub fn new(params: &SystemParams, policy: VictimPolicy) -> Self {
+        Self::with_probe(params, policy, NoProbe)
+    }
+}
+
+impl<P: Probe + Clone> TaglessCache<P> {
+    /// Builds an instrumented tagless cache: every layer (cTLB levels,
+    /// both DRAM devices, the miss handler itself) reports cycle-stamped
+    /// events into clones of `probe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails validation.
+    pub fn with_probe(params: &SystemParams, policy: VictimPolicy, probe: P) -> Self {
         params.validate().expect("valid system parameters");
         let spaces = params.address_spaces();
         Self {
             mmus: params
                 .core_asid
                 .iter()
-                .map(|&a| Mmu::new(params.mmu, a))
+                .map(|&a| Mmu::with_probe(params.mmu, a, probe.clone()))
                 .collect(),
             core_asid: params.core_asid.clone(),
             page_tables: (0..spaces).map(PageTable::new).collect(),
             gipt: Gipt::new(params.cache_slots()),
             ring: SlotRing::new(params.cache_slots(), policy),
-            in_pkg: DramController::new(params.in_pkg.clone()),
-            off_pkg: DramController::new(params.off_pkg.clone()),
+            in_pkg: DramController::with_probe(
+                params.in_pkg.clone(),
+                probe.clone(),
+                Device::InPackage,
+            ),
+            off_pkg: DramController::with_probe(
+                params.off_pkg.clone(),
+                probe.clone(),
+                Device::OffPackage,
+            ),
+            probe,
             pending_fills: HashMap::new(),
             alpha: params.alpha,
             stats: L3Stats::default(),
@@ -125,7 +149,9 @@ impl TaglessCache {
             alias_table: None,
         }
     }
+}
 
+impl<P: Probe> TaglessCache<P> {
     /// Enables the online hot-page filter: a page is only cached once it
     /// has triggered `threshold` fill opportunities (its earlier misses
     /// are served off-package at block granularity). `threshold == 0`
@@ -215,7 +241,7 @@ impl TaglessCache {
     /// Whether any core's TLB still maps the page held by `cpn`.
     fn slot_resident(
         gipt: &Gipt,
-        mmus: &[Mmu],
+        mmus: &[Mmu<P>],
         core_asid: &[u32],
         cpn: Cpn,
     ) -> bool {
@@ -247,6 +273,18 @@ impl TaglessCache {
                 PAGE_SIZE,
             );
             self.stats.dirty_page_writebacks += 1;
+            if self.probe.enabled() {
+                self.probe.emit(now, ProbeEvent::DirtyWriteback);
+            }
+        }
+        if self.probe.enabled() {
+            self.probe.emit(
+                now,
+                ProbeEvent::GiptEvict {
+                    slot: cpn.0,
+                    dirty,
+                },
+            );
         }
         // PTE update: replace the cache address with the recovered PPN.
         // With the alias table enabled, every sharer's PTE is restored
@@ -332,6 +370,7 @@ impl TaglessCache {
     /// fill, off the critical path, exactly the asynchrony the free
     /// queue buys in §3.2.
     fn fill_page(&mut self, t: Cycle, asid: u32, vpn: Vpn) -> (Frame, Cycle) {
+        let handler_entry = t;
         if self.ring.free_count() == 0 {
             // α invariant violated only when every page was TLB-resident
             // at the previous fill; try to recover now.
@@ -341,6 +380,10 @@ impl TaglessCache {
             // No evictable slot (all TLB-resident): serve off-package
             // once without caching.
             self.bypassed_fills += 1;
+            if self.probe.enabled() {
+                self.probe
+                    .emit(t, ProbeEvent::FillBypass { filtered: false });
+            }
             let pte = self.page_tables[asid as usize].translate_or_fault(vpn);
             let Translation::Physical(ppn) = pte.frame else {
                 unreachable!("fill_page only runs for uncached pages");
@@ -381,6 +424,9 @@ impl TaglessCache {
             t
         };
         self.stats.gipt_updates += 1;
+        if self.probe.enabled() {
+            self.probe.emit(t, ProbeEvent::GiptInsert { slot: cpn.0 });
+        }
 
         // Page copy: off-package read (critical block first), in-package
         // write pipelined behind it.
@@ -394,6 +440,14 @@ impl TaglessCache {
             PAGE_SIZE,
         );
         self.stats.page_fills += 1;
+        if self.probe.enabled() {
+            self.probe.emit(
+                handler_entry,
+                ProbeEvent::PageFill {
+                    cycles: rd.done - handler_entry,
+                },
+            );
+        }
 
         // PTE now maps to the cache; PU clears when the copy completes.
         let pte = self.page_tables[asid as usize]
@@ -412,6 +466,15 @@ impl TaglessCache {
         // asynchronously, after this fill's critical traffic. The slot
         // just filled is protected: its cTLB entry is not installed yet.
         self.maintain_free(rd.done, Some(cpn));
+        if self.probe.enabled() {
+            self.probe.emit(
+                rd.done,
+                ProbeEvent::FreeQueueDepth {
+                    free: self.ring.free_count(),
+                    pending: self.ring.pending_len(),
+                },
+            );
+        }
 
         // The handler returns once the critical block is forwarded.
         (Frame::Cache(cpn), rd.first_data)
@@ -423,6 +486,15 @@ impl TaglessCache {
         let l2_lat = self.mmus[core].params().l2_latency;
         // Page table walk (charged through the walker model).
         let t = self.mmus[core].walk(now + l2_lat, vpn, &mut self.off_pkg);
+        if self.probe.enabled() {
+            self.probe.emit(
+                now,
+                ProbeEvent::PageWalk {
+                    core: core as u8,
+                    cycles: t - now,
+                },
+            );
+        }
 
         // PU bit: if another thread's fill for this page is in flight,
         // busy-wait until it completes instead of filling again.
@@ -441,18 +513,48 @@ impl TaglessCache {
             (Translation::Cache(cpn), _) => {
                 // In-package victim hit: the page is cached; rescue it if
                 // it was pending eviction and refresh recency.
-                self.ring.rescue(cpn);
+                let rescued = self.ring.rescue(cpn);
                 self.ring.touch(cpn);
                 self.stats.record_case(AccessCase::MissHit);
+                if self.probe.enabled() {
+                    self.probe.emit(
+                        now,
+                        ProbeEvent::CtlbMiss {
+                            core: core as u8,
+                            victim_hit: true,
+                        },
+                    );
+                    if rescued {
+                        self.probe.emit(t, ProbeEvent::Rescue);
+                    }
+                }
                 (Frame::Cache(cpn), false, t)
             }
             (Translation::Physical(ppn), true) => {
                 // Non-cacheable: conventional VA→PA mapping.
                 self.stats.record_case(AccessCase::MissMiss);
+                if self.probe.enabled() {
+                    self.probe.emit(
+                        now,
+                        ProbeEvent::CtlbMiss {
+                            core: core as u8,
+                            victim_hit: false,
+                        },
+                    );
+                }
                 (Frame::Phys(ppn), true, t)
             }
             (Translation::Physical(ppn), false) => {
                 self.stats.record_case(AccessCase::MissMiss);
+                if self.probe.enabled() {
+                    self.probe.emit(
+                        now,
+                        ProbeEvent::CtlbMiss {
+                            core: core as u8,
+                            victim_hit: false,
+                        },
+                    );
+                }
                 // §6 alias table: if another address space already cached
                 // this physical page, share its copy instead of filling.
                 if self.alias_table.is_some() {
@@ -494,6 +596,10 @@ impl TaglessCache {
                         .or_insert(1);
                     if *count < self.fill_threshold {
                         self.filtered_bypasses += 1;
+                        if self.probe.enabled() {
+                            self.probe
+                                .emit(t, ProbeEvent::FillBypass { filtered: true });
+                        }
                         return (Frame::Phys(ppn), false, t);
                     }
                 }
@@ -504,7 +610,7 @@ impl TaglessCache {
     }
 }
 
-impl L3System for TaglessCache {
+impl<P: Probe> L3System for TaglessCache<P> {
     fn name(&self) -> &'static str {
         match self.ring.policy() {
             VictimPolicy::Fifo => "cTLB",
@@ -519,7 +625,7 @@ impl L3System for TaglessCache {
         vpn: Vpn,
         _is_write: bool,
     ) -> TranslationOutcome {
-        let q = self.mmus[core].lookup(vpn);
+        let q = self.mmus[core].lookup_at(now, vpn);
         match q {
             TlbQuery::L1Hit(e) | TlbQuery::L2Hit(e) => {
                 let penalty = match q {
@@ -531,6 +637,15 @@ impl L3System for TaglessCache {
                     Translation::Physical(ppn) => (Frame::Phys(ppn), AccessCase::HitMiss),
                 };
                 self.stats.record_case(case);
+                if self.probe.enabled() {
+                    self.probe.emit(
+                        now,
+                        ProbeEvent::CtlbHit {
+                            core: core as u8,
+                            cached: frame.is_cache(),
+                        },
+                    );
+                }
                 if let Frame::Cache(cpn) = frame {
                     self.ring.touch(cpn);
                 }
@@ -547,7 +662,7 @@ impl L3System for TaglessCache {
                     Frame::Cache(cpn) => TlbEntry::cache(cpn, false),
                     Frame::Phys(ppn) => TlbEntry::physical(ppn, nc),
                 };
-                self.mmus[core].insert(vpn, entry);
+                self.mmus[core].insert_at(done, vpn, entry);
                 TranslationOutcome {
                     frame,
                     nc,
@@ -605,6 +720,9 @@ impl L3System for TaglessCache {
                     // on die (prevented by shootdown+flush in a real
                     // system; dropped and counted here).
                     self.stats.stale_writebacks += 1;
+                    if self.probe.enabled() {
+                        self.probe.emit(now, ProbeEvent::StaleWriteback);
+                    }
                 }
             }
             Frame::Phys(ppn) => {

@@ -11,6 +11,7 @@
 use tdc_dram::{AccessKind, DramController};
 use tdc_sram_cache::{CacheGeometry, Replacement, SetAssocCache};
 use tdc_tlb::walker::walk_addresses;
+use tdc_util::probe::Probe;
 use tdc_util::{Cycle, Vpn};
 
 /// Cycles for a PTE read that hits the walk/PTE cache.
@@ -44,7 +45,12 @@ impl WalkerModel {
     /// Performs a walk of `vpn` starting at `now`, charging misses to
     /// the off-package DRAM. Returns the cycle at which the walk (and
     /// hence the PTE) is complete.
-    pub fn walk(&mut self, now: Cycle, vpn: Vpn, off_pkg: &mut DramController) -> Cycle {
+    pub fn walk<Q: Probe>(
+        &mut self,
+        now: Cycle,
+        vpn: Vpn,
+        off_pkg: &mut DramController<Q>,
+    ) -> Cycle {
         let mut t = now;
         for pa in walk_addresses(self.asid, vpn) {
             if self.pte_cache.access(pa.0, false).hit {

@@ -9,6 +9,7 @@
 //! command-level simulation.
 
 use crate::config::DramConfig;
+use tdc_util::probe::{Device, NoProbe, Probe, ProbeEvent, RowEvent};
 use tdc_util::Cycle;
 
 /// Whether an access reads or writes the device.
@@ -117,16 +118,27 @@ impl DramStats {
 /// assert!(b.row_hit);
 /// ```
 #[derive(Debug, Clone)]
-pub struct DramController {
+pub struct DramController<P: Probe = NoProbe> {
     config: DramConfig,
     banks: Vec<Bank>,
     bus_free_at: Vec<Cycle>,
     stats: DramStats,
+    probe: P,
+    device: Device,
 }
 
 impl DramController {
     /// Creates a controller for the given device configuration.
     pub fn new(config: DramConfig) -> Self {
+        Self::with_probe(config, NoProbe, Device::OffPackage)
+    }
+}
+
+impl<P: Probe> DramController<P> {
+    /// Creates a controller that reports each access to `probe`, tagged
+    /// as `device`. [`DramController::new`] is the un-instrumented
+    /// equivalent (the probe folds away entirely).
+    pub fn with_probe(config: DramConfig, probe: P, device: Device) -> Self {
         let banks = vec![Bank::default(); config.total_banks() as usize];
         let bus_free_at = vec![0; config.channels as usize];
         Self {
@@ -134,6 +146,8 @@ impl DramController {
             banks,
             bus_free_at,
             stats: DramStats::default(),
+            probe,
+            device,
         }
     }
 
@@ -233,6 +247,21 @@ impl DramController {
                 self.stats.writes += 1;
                 self.stats.bytes_written += bytes;
             }
+        }
+        if self.probe.enabled() {
+            self.probe.emit(
+                xfer_begin,
+                ProbeEvent::DramAccess {
+                    device: self.device,
+                    write: kind == AccessKind::Write,
+                    row: match outcome {
+                        RowOutcome::Hit => RowEvent::Hit,
+                        RowOutcome::Closed => RowEvent::Closed,
+                        RowOutcome::Conflict => RowEvent::Conflict,
+                    },
+                    busy: done - xfer_begin,
+                },
+            );
         }
 
         Completion {

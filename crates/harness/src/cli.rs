@@ -16,7 +16,7 @@ use tdc_core::RunConfig;
 
 use crate::figures::{generate, ALL_IDS};
 use crate::harness::Harness;
-use crate::sink::write_results;
+use crate::sink::{write_metrics, write_results};
 use crate::SEED;
 
 /// Parsed command-line options.
@@ -41,6 +41,12 @@ COMMANDS:
     fig07..fig13, table1, table6, amat
                 Generate the named figures (several may be given; they
                 share one result cache, so common cells run once)
+    trace <workload>/<org>
+                Run one cell with probes on; export interval telemetry
+                and a Chrome/Perfetto trace ('tdc trace -h' for options)
+    diff <baseline-dir>
+                Regenerate figures and compare against a checked-in
+                baseline; exit non-zero on drift ('tdc diff -h')
 
 OPTIONS:
     --jobs N    Worker threads (default: available CPU parallelism)
@@ -122,6 +128,11 @@ fn config(opts: &Options) -> RunConfig {
 /// Runs the CLI with `args` (without the program name). Returns the
 /// process exit code.
 pub fn run(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("trace") => return crate::trace::run(&args[1..]),
+        Some("diff") => return crate::diff::run(&args[1..]),
+        _ => {}
+    }
     let opts = match parse(args) {
         Ok(o) => o,
         Err(msg) => {
@@ -181,6 +192,13 @@ pub fn run(args: &[String]) -> i32 {
             Ok(written) => eprintln!("tdc: wrote {} artifacts under {}", written.len(), dir.display()),
             Err(e) => {
                 eprintln!("tdc: failed to write artifacts under {}: {e}", dir.display());
+                return 1;
+            }
+        }
+        match write_metrics(dir, &stats, opts.jobs, wall.as_secs_f64(), &harness.timings()) {
+            Ok(path) => eprintln!("tdc: wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("tdc: failed to write metrics under {}: {e}", dir.display());
                 return 1;
             }
         }

@@ -1,7 +1,7 @@
 //! The orchestrator: cache-aware parallel execution of job sets.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use tdc_core::experiment::Job;
 use tdc_core::{RunConfig, RunReport};
@@ -36,6 +36,7 @@ pub struct Harness {
     executed: AtomicUsize,
     hits: AtomicUsize,
     busy_ns: AtomicU64,
+    timings: Mutex<Vec<(String, f64)>>,
 }
 
 impl Harness {
@@ -50,6 +51,7 @@ impl Harness {
             executed: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
             busy_ns: AtomicU64::new(0),
+            timings: Mutex::new(Vec::new()),
         }
     }
 
@@ -77,6 +79,16 @@ impl Harness {
     /// The cached results accumulated so far, sorted by cache key.
     pub fn results(&self) -> Vec<(String, Arc<RunReport>)> {
         self.cache.snapshot()
+    }
+
+    /// Per-job wall-clock timings of every cell simulated so far, as
+    /// `(label, seconds)` sorted by label. Timing data feeds
+    /// `results/metrics.json` — the one artifact that is deliberately
+    /// *not* deterministic.
+    pub fn timings(&self) -> Vec<(String, f64)> {
+        let mut t = self.timings.lock().expect("timings lock").clone();
+        t.sort_by(|a, b| a.0.cmp(&b.0));
+        t
     }
 
     /// Runs every job in `jobs`, returning reports in input order.
@@ -120,6 +132,10 @@ impl Harness {
             for ((key, job), done) in missing.into_iter().zip(completed) {
                 self.busy_ns
                     .fetch_add(done.elapsed.as_nanos() as u64, Ordering::Relaxed);
+                self.timings
+                    .lock()
+                    .expect("timings lock")
+                    .push((job.label(), done.elapsed.as_secs_f64()));
                 let report = done
                     .result
                     .unwrap_or_else(|e| panic!("job {} failed: {e}", job.label()));

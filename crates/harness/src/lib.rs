@@ -24,6 +24,10 @@
 //!   regression baselines).
 //! * [`cli`] — the `tdc` binary: `tdc all --jobs 8`, `tdc fig07`,
 //!   `tdc list`.
+//! * [`trace`] — `tdc trace <workload>/<org>`: one probed cell,
+//!   exporting interval telemetry and a Chrome/Perfetto trace.
+//! * [`diff`] — `tdc diff <baseline-dir>`: regression gating against a
+//!   checked-in figure snapshot (non-zero exit on drift).
 //!
 //! # Example
 //!
@@ -41,10 +45,12 @@
 
 pub mod cache;
 pub mod cli;
+pub mod diff;
 pub mod figures;
 pub mod harness;
 pub mod pool;
 pub mod sink;
+pub mod trace;
 
 pub use cache::ResultCache;
 pub use figures::{generate, FigureData, ALL_IDS};

@@ -121,7 +121,7 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
-fn sanitize(s: &str) -> String {
+pub(crate) fn sanitize(s: &str) -> String {
     s.chars()
         .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
         .collect()
@@ -204,6 +204,46 @@ pub fn write_results(
     fs::write(&index_path, index.pretty())?;
     written.push(index_path);
     Ok(written)
+}
+
+/// Writes `results/metrics.json`: per-invocation execution telemetry
+/// (wall/busy time, cache effectiveness, per-job timings).
+///
+/// This is the **one deliberately non-deterministic artifact** under
+/// `results/` — it records how long this machine took, not what the
+/// simulation produced — so regression tooling (`tdc diff`, the
+/// determinism tests) must skip it.
+pub fn write_metrics(
+    dir: &Path,
+    stats: &crate::harness::HarnessStats,
+    jobs: usize,
+    wall_seconds: f64,
+    timings: &[(String, f64)],
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let per_job = Json::Arr(
+        timings
+            .iter()
+            .map(|(label, secs)| {
+                Json::obj([
+                    ("label", Json::from(label.as_str())),
+                    ("seconds", Json::from(*secs)),
+                ])
+            })
+            .collect(),
+    );
+    let metrics = Json::obj([
+        ("wall_seconds", Json::from(wall_seconds)),
+        ("busy_seconds", Json::from(stats.busy.as_secs_f64())),
+        ("requested", Json::from(stats.requested)),
+        ("executed", Json::from(stats.executed)),
+        ("cache_hits", Json::from(stats.cache_hits)),
+        ("jobs", Json::from(jobs)),
+        ("per_job", per_job),
+    ]);
+    let path = dir.join("metrics.json");
+    fs::write(&path, metrics.pretty())?;
+    Ok(path)
 }
 
 #[cfg(test)]

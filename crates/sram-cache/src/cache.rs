@@ -56,7 +56,7 @@ impl CacheGeometry {
         if lines * line_bytes != capacity_bytes {
             return Err(GeometryError("capacity must be a multiple of line size"));
         }
-        if lines % ways as u64 != 0 || lines < ways as u64 {
+        if !lines.is_multiple_of(ways as u64) || lines < ways as u64 {
             return Err(GeometryError("capacity/line/ways must give whole sets"));
         }
         Ok(Self {

@@ -7,7 +7,8 @@
 
 use crate::page_table::Translation;
 use std::fmt;
-use tdc_util::{Cpn, Ppn, Vpn};
+use tdc_util::probe::{NoProbe, Probe, ProbeEvent};
+use tdc_util::{Cpn, Cycle, Ppn, Vpn};
 
 /// The payload of a TLB entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,13 +62,15 @@ struct Slot {
 /// `ways == entries` gives a fully associative TLB (the paper's 32-entry
 /// L1 TLBs); the 512-entry L2 TLB is typically configured 8-way.
 #[derive(Debug, Clone)]
-pub struct Tlb {
+pub struct Tlb<P: Probe = NoProbe> {
     slots: Vec<Slot>,
     sets: u64,
     ways: u32,
     tick: u64,
     hits: u64,
     misses: u64,
+    level: u8,
+    probe: P,
 }
 
 impl Tlb {
@@ -79,10 +82,30 @@ impl Tlb {
     /// Returns an error if `entries` is zero, `ways` is zero, or `ways`
     /// does not divide `entries`.
     pub fn new(entries: u32, ways: u32) -> Result<Self, TlbShapeError> {
+        Self::with_probe(entries, ways, 0, NoProbe)
+    }
+}
+
+impl<P: Probe> Tlb<P> {
+    /// Creates an instrumented TLB reporting lookups and insertions to
+    /// `probe`, tagged with hierarchy `level` (1 = L1, 2 = L2). The
+    /// cycle-less [`Tlb::lookup`]/[`Tlb::insert`] stamp events at cycle
+    /// 0; use the `*_at` variants when a clock is available.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `entries` is zero, `ways` is zero, or `ways`
+    /// does not divide `entries`.
+    pub fn with_probe(
+        entries: u32,
+        ways: u32,
+        level: u8,
+        probe: P,
+    ) -> Result<Self, TlbShapeError> {
         if entries == 0 || ways == 0 {
             return Err(TlbShapeError("entries and ways must be non-zero"));
         }
-        if entries % ways != 0 {
+        if !entries.is_multiple_of(ways) {
             return Err(TlbShapeError("ways must divide entries"));
         }
         let invalid = Slot {
@@ -98,6 +121,8 @@ impl Tlb {
             tick: 0,
             hits: 0,
             misses: 0,
+            level,
+            probe,
         })
     }
 
@@ -134,18 +159,37 @@ impl Tlb {
 
     /// Looks up a translation, updating LRU state and hit/miss counters.
     pub fn lookup(&mut self, vpn: Vpn) -> Option<TlbEntry> {
+        self.lookup_at(0, vpn)
+    }
+
+    /// [`Tlb::lookup`] with an explicit cycle stamp for probe events.
+    pub fn lookup_at(&mut self, now: Cycle, vpn: Vpn) -> Option<TlbEntry> {
         self.tick += 1;
         let tick = self.tick;
         let range = self.set_range(vpn);
+        let mut found = None;
         for slot in &mut self.slots[range] {
             if slot.valid && slot.vpn == vpn {
                 slot.stamp = tick;
-                self.hits += 1;
-                return Some(slot.entry);
+                found = Some(slot.entry);
+                break;
             }
         }
-        self.misses += 1;
-        None
+        if found.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        if self.probe.enabled() {
+            self.probe.emit(
+                now,
+                ProbeEvent::TlbLookup {
+                    level: self.level,
+                    hit: found.is_some(),
+                },
+            );
+        }
+        found
     }
 
     /// Checks residence without updating LRU or counters. This is the
@@ -161,34 +205,55 @@ impl Tlb {
     /// Inserts (or updates) a translation, returning the displaced entry
     /// if a valid one was evicted.
     pub fn insert(&mut self, vpn: Vpn, entry: TlbEntry) -> Option<(Vpn, TlbEntry)> {
+        self.insert_at(0, vpn, entry)
+    }
+
+    /// [`Tlb::insert`] with an explicit cycle stamp for probe events.
+    pub fn insert_at(
+        &mut self,
+        now: Cycle,
+        vpn: Vpn,
+        entry: TlbEntry,
+    ) -> Option<(Vpn, TlbEntry)> {
         self.tick += 1;
         let tick = self.tick;
         let range = self.set_range(vpn);
         let slots = &mut self.slots[range];
 
-        if let Some(slot) = slots.iter_mut().find(|s| s.valid && s.vpn == vpn) {
+        let displaced = if let Some(slot) = slots.iter_mut().find(|s| s.valid && s.vpn == vpn) {
             slot.entry = entry;
             slot.stamp = tick;
-            return None;
+            None
+        } else {
+            let victim = match slots.iter().position(|s| !s.valid) {
+                Some(i) => i,
+                None => slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.stamp)
+                    .map(|(i, _)| i)
+                    .expect("non-empty set"),
+            };
+            let displaced = slots[victim]
+                .valid
+                .then_some((slots[victim].vpn, slots[victim].entry));
+            slots[victim] = Slot {
+                vpn,
+                entry,
+                valid: true,
+                stamp: tick,
+            };
+            displaced
+        };
+        if self.probe.enabled() {
+            self.probe.emit(
+                now,
+                ProbeEvent::TlbInsert {
+                    level: self.level,
+                    evicted: displaced.is_some(),
+                },
+            );
         }
-        let victim = match slots.iter().position(|s| !s.valid) {
-            Some(i) => i,
-            None => slots
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, s)| s.stamp)
-                .map(|(i, _)| i)
-                .expect("non-empty set"),
-        };
-        let displaced = slots[victim]
-            .valid
-            .then_some((slots[victim].vpn, slots[victim].entry));
-        slots[victim] = Slot {
-            vpn,
-            entry,
-            valid: true,
-            stamp: tick,
-        };
         displaced
     }
 

@@ -42,7 +42,7 @@ const PT_REGION_BASE: u64 = 0x7000_0000_0000;
 /// ```
 pub fn walk_addresses(asid: u32, vpn: Vpn) -> [PAddr; WALK_LEVELS] {
     let mut out = [PAddr(0); WALK_LEVELS];
-    for level in 0..WALK_LEVELS {
+    for (level, slot) in out.iter_mut().enumerate() {
         // Index consumed at this level (level 0 = root).
         let shift = BITS_PER_LEVEL * (WALK_LEVELS - 1 - level) as u32;
         let index = (vpn.0 >> shift) & ((1 << BITS_PER_LEVEL) - 1);
@@ -52,7 +52,7 @@ pub fn walk_addresses(asid: u32, vpn: Vpn) -> [PAddr; WALK_LEVELS] {
         // Table pages live in a dedicated region; spread tables over
         // 2^24 slots.
         let table_base = PT_REGION_BASE + (table_id & 0xFF_FFFF) * TABLE_BYTES;
-        out[level] = PAddr(table_base + index * PTE_BYTES);
+        *slot = PAddr(table_base + index * PTE_BYTES);
     }
     out
 }

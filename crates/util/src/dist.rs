@@ -164,7 +164,7 @@ impl Zipf {
         if n == 0 {
             return Err(ParamError::new("zipf n must be positive"));
         }
-        if !(s >= 0.0) {
+        if s.is_nan() || s < 0.0 {
             return Err(ParamError::new("zipf s must be non-negative"));
         }
         let h = |x: f64| -> f64 {

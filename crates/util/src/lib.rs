@@ -14,6 +14,10 @@
 //! * [`json`] — a dependency-free JSON value type with a deterministic
 //!   writer and strict parser, used by the experiment harness for its
 //!   `results/*.json` artifacts.
+//! * [`probe`] — zero-overhead-when-off instrumentation: the [`Probe`]
+//!   trait every simulator layer is generic over (with the no-op
+//!   [`NoProbe`] default), plus the [`Recorder`] sinks for interval
+//!   telemetry and Chrome trace-event export.
 //!
 //! # Examples
 //!
@@ -30,6 +34,7 @@
 pub mod dist;
 pub mod json;
 pub mod mem;
+pub mod probe;
 pub mod rng;
 pub mod stats;
 
@@ -37,5 +42,6 @@ pub use dist::{Bernoulli, Geometric, Uniform, WeightedIndex, Zipf};
 pub use json::{Json, JsonError};
 pub use mem::{CAddr, Cpn, Cycle, PAddr, Ppn, VAddr, Vpn};
 pub use mem::{BLOCKS_PER_PAGE, BLOCK_SHIFT, BLOCK_SIZE, PAGE_SHIFT, PAGE_SIZE};
+pub use probe::{EventGroup, NoProbe, Probe, ProbeEvent, Recorder, SharedProbe};
 pub use rng::{Pcg32, Rng, SplitMix64};
 pub use stats::{geomean, Histogram, RunningStats};

@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
-# Local CI gate: build, test, and a scaled-down end-to-end sweep.
+# Local CI gate: build, lint, test, a scaled-down end-to-end sweep, a
+# probed trace export, and regression gating against the checked-in
+# baseline.
 #
 # Usage: scripts/ci.sh
-# The smoke run writes artifacts to a throwaway directory; nothing in
+# The smoke runs write artifacts to a throwaway directory; nothing in
 # the repo is modified.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== build (release, all crates) =="
 cargo build --release --workspace
+
+echo "== lint (clippy, warnings are errors) =="
+cargo clippy -q --workspace --all-targets -- -D warnings
 
 echo "== tests (unit + property + integration) =="
 cargo test -q --workspace
@@ -18,4 +23,13 @@ out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 ./target/release/tdc all --jobs 2 --scale 0.05 --quiet --out "$out"
 test -s "$out/index.json" || { echo "smoke run wrote no index.json" >&2; exit 1; }
+test -s "$out/metrics.json" || { echo "smoke run wrote no metrics.json" >&2; exit 1; }
 echo "ok: $(find "$out" -name '*.json' | wc -l) artifacts"
+
+echo "== smoke: tdc trace (probed run, Perfetto export) =="
+./target/release/tdc trace mcf/ctlb --scale 0.02 --out "$out"
+test -s "$out/runs/mcf_ctlb.timeseries.json" || { echo "trace wrote no timeseries" >&2; exit 1; }
+test -s "$out/trace/mcf_ctlb.trace.json" || { echo "trace wrote no trace.json" >&2; exit 1; }
+
+echo "== regression: tdc diff vs baselines/scale-0.25 =="
+./target/release/tdc diff baselines/scale-0.25 --jobs 2 --quiet
