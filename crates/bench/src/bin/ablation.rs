@@ -19,13 +19,21 @@ fn main() {
     let bench = "milc";
     let base = run_single(bench, OrgKind::NoL3, &cfg).expect("known benchmark");
 
+    // Each sweep cell is an independent pure function of its parameter,
+    // so the sweeps run through the shared worker pool; run_tasks
+    // returns results in input order, keeping the printout stable.
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
     println!("== Ablation 1: free-block count α ({bench}) ==");
-    for alpha in [1u64, 4, 16, 64] {
-        let r = run_single_custom(bench, &cfg, |mut p| {
+    let alphas = [1u64, 4, 16, 64];
+    let alpha_runs = tdc_util::pool::run_tasks(&alphas, threads, |_, &alpha| {
+        run_single_custom(bench, &cfg, move |mut p| {
             p.alpha = alpha;
             Box::new(TaglessCache::new(&p, VictimPolicy::Fifo))
         })
-        .expect("known benchmark");
+        .expect("known benchmark")
+    });
+    for (alpha, r) in alphas.iter().zip(&alpha_runs) {
         println!(
             "alpha={alpha:>3}: normalized IPC {:.3}  fills {}  evictions {}",
             r.normalized_ipc(&base),
@@ -35,17 +43,20 @@ fn main() {
     }
 
     println!("\n== Ablation 2: TLB reach (L2 TLB entries, {bench}) ==");
-    for entries in [128u32, 256, 512, 1024, 2048] {
-        let r = run_single_custom(bench, &cfg, |mut p| {
+    let tlb_sizes = [128u32, 256, 512, 1024, 2048];
+    let tlb_runs = tdc_util::pool::run_tasks(&tlb_sizes, threads, |_, &entries| {
+        run_single_custom(bench, &cfg, move |mut p| {
             p.mmu.l2_entries = entries;
             Box::new(TaglessCache::new(&p, VictimPolicy::Fifo))
         })
-        .expect("known benchmark");
+        .expect("known benchmark")
+    });
+    for (entries, r) in tlb_sizes.iter().zip(&tlb_runs) {
         println!(
             "L2 TLB {entries:>5}: normalized IPC {:.3}  victim hits {}  (reach {}MB)",
             r.normalized_ipc(&base),
             r.l3.case_miss_hit,
-            entries as u64 * 4096 / (1 << 20)
+            *entries as u64 * 4096 / (1 << 20)
         );
     }
 

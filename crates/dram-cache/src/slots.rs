@@ -184,6 +184,10 @@ impl SlotRing {
                         continue;
                     }
                     self.slots[cpn.0 as usize].state = SlotState::PendingEvict;
+                    debug_assert!(
+                        !self.free_queue.contains(&cpn),
+                        "slot {cpn:?} double-queued for eviction"
+                    );
                     self.free_queue.push_back(cpn);
                     return Some(cpn);
                 }
@@ -203,6 +207,10 @@ impl SlotRing {
                         continue;
                     }
                     self.slots[raw as usize].state = SlotState::PendingEvict;
+                    debug_assert!(
+                        !self.free_queue.contains(&cpn),
+                        "slot {cpn:?} double-queued for eviction"
+                    );
                     self.free_queue.push_back(cpn);
                     selected = Some(cpn);
                     break;

@@ -27,7 +27,7 @@ use crate::l3::{
 };
 use crate::mmu::{Mmu, TlbQuery};
 use crate::slots::{SlotRing, VictimPolicy};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tdc_dram::{AccessKind, DramController, DramStats};
 use tdc_tlb::{walk_addresses, PageTable, TlbEntry, Translation};
 use tdc_util::probe::{Device, NoProbe, Probe, ProbeEvent};
@@ -52,7 +52,7 @@ pub struct TaglessCache<P: Probe = NoProbe> {
     probe: P,
     /// PU bit: fills in flight, keyed by (asid, vpn), holding the cycle
     /// the copy completes.
-    pending_fills: HashMap<(u32, u64), Cycle>,
+    pending_fills: BTreeMap<(u32, u64), Cycle>,
     alpha: u64,
     stats: L3Stats,
     /// Fills that had to bypass because every slot was TLB-resident
@@ -64,7 +64,7 @@ pub struct TaglessCache<P: Probe = NoProbe> {
     /// caching policy in the TLB miss handler" claim, CHOP-style.
     fill_threshold: u32,
     /// Per-page touch counts for the online filter.
-    touch_counts: HashMap<(u32, u64), u32>,
+    touch_counts: BTreeMap<(u32, u64), u32>,
     /// Pages the online filter declined to cache (served off-package).
     filtered_bypasses: u64,
     /// Whether GIPT updates are charged as two off-package writes (the
@@ -79,8 +79,8 @@ pub struct TaglessCache<P: Probe = NoProbe> {
 
 #[derive(Debug, Default)]
 struct AliasTable {
-    pa_to_ca: HashMap<u64, Cpn>,
-    sharers: HashMap<u64, Vec<(u32, Vpn)>>,
+    pa_to_ca: BTreeMap<u64, Cpn>,
+    sharers: BTreeMap<u64, Vec<(u32, Vpn)>>,
     hits: u64,
 }
 
@@ -138,12 +138,12 @@ impl<P: Probe + Clone> TaglessCache<P> {
                 Device::OffPackage,
             ),
             probe,
-            pending_fills: HashMap::new(),
+            pending_fills: BTreeMap::new(),
             alpha: params.alpha,
             stats: L3Stats::default(),
             bypassed_fills: 0,
             fill_threshold: 0,
-            touch_counts: HashMap::new(),
+            touch_counts: BTreeMap::new(),
             filtered_bypasses: 0,
             charge_gipt: true,
             alias_table: None,
@@ -257,6 +257,10 @@ impl<P: Probe> TaglessCache<P> {
     /// Completes one eviction: write back if dirty, restore the PTE to
     /// its physical mapping (via the GIPT), all off the access path.
     fn do_eviction(&mut self, now: Cycle, cpn: Cpn, dirty: bool) {
+        debug_assert!(
+            !self.ring.is_live(cpn),
+            "eviction must run after pop_eviction freed slot {cpn:?}"
+        );
         let entry = self
             .gipt
             .remove(cpn)
@@ -319,6 +323,7 @@ impl<P: Probe> TaglessCache<P> {
     /// entry is not installed yet, so the TLB-residence check alone
     /// would not shield it — the PU bit does in hardware).
     fn maintain_free(&mut self, now: Cycle, protected: Option<Cpn>) {
+        let mut exhausted = false;
         loop {
             if self.ring.free_count() >= self.alpha {
                 break;
@@ -338,6 +343,7 @@ impl<P: Probe> TaglessCache<P> {
                     })
                     .is_none()
                 {
+                    exhausted = true;
                     break; // every page is TLB-resident
                 }
             }
@@ -346,6 +352,12 @@ impl<P: Probe> TaglessCache<P> {
                 None => continue, // the pending entry was rescued; retry
             }
         }
+        debug_assert!(
+            exhausted || self.ring.free_count() >= self.alpha,
+            "free-queue refill left {} free slots, below α = {}",
+            self.ring.free_count(),
+            self.alpha
+        );
         // Keep one victim queued ahead of time once the cache is full,
         // giving victim hits a rescue window (the free queue of §3.2).
         if self.ring.pending_len() == 0 && self.ring.free_count() <= self.alpha {
@@ -400,13 +412,18 @@ impl<P: Probe> TaglessCache<P> {
         // GIPT insert, charged conservatively as two full off-package
         // memory writes (§3.4) unless the ablation knob disabled the
         // charge.
-        self.gipt.insert(
+        let displaced = self.gipt.insert(
             cpn,
             GiptEntry {
                 ppn,
                 asid,
                 vpn,
             },
+        );
+        debug_assert!(
+            displaced.is_none(),
+            "GIPT entry↔slot bijection violated: freshly allocated slot \
+             {cpn:?} still held a GIPT entry"
         );
         let gipt_addr = GIPT_REGION_BASE + cpn.0 * GIPT_WRITE_BYTES;
         let t = if self.charge_gipt {

@@ -32,6 +32,12 @@ pub struct DramTiming {
     pub t_ras_ns: f64,
     /// Precharge command period (tRP).
     pub t_rp_ns: f64,
+    /// Column-to-column command delay (tCCD): the minimum spacing of
+    /// back-to-back column bursts to an open row. The controller models
+    /// this through the per-burst data-bus reservation (one 64B burst
+    /// occupies the bus for exactly tCCD), so this field documents the
+    /// effective value rather than adding a second serialization point.
+    pub t_ccd_ns: f64,
 }
 
 impl DramTiming {
@@ -42,6 +48,8 @@ impl DramTiming {
             t_aa_ns: 10.0,
             t_ras_ns: 22.0,
             t_rp_ns: 14.0,
+            // 64B over a 128-bit DDR bus at 1600MHz: 4 edges = 1.25ns.
+            t_ccd_ns: 1.25,
         }
     }
 
@@ -52,6 +60,8 @@ impl DramTiming {
             t_aa_ns: 14.0,
             t_ras_ns: 35.0,
             t_rp_ns: 14.0,
+            // 64B over a 64-bit DDR bus at 800MHz: 8 edges = 5ns.
+            t_ccd_ns: 5.0,
         }
     }
 
@@ -73,6 +83,11 @@ impl DramTiming {
     /// tRP in CPU cycles.
     pub fn t_rp(&self) -> Cycle {
         ns_to_cycles(self.t_rp_ns)
+    }
+
+    /// tCCD (one 64B burst slot) in CPU cycles.
+    pub fn t_ccd(&self) -> Cycle {
+        ns_to_cycles(self.t_ccd_ns)
     }
 
     /// Row-buffer-hit access latency (tAA only), in CPU cycles.
@@ -110,6 +125,8 @@ mod tests {
         assert_eq!(t.t_aa(), 30);
         assert_eq!(t.t_ras(), 66);
         assert_eq!(t.t_rp(), 42);
+        // Matches DramConfig::in_package's transfer_cycles(64).
+        assert_eq!(t.t_ccd(), 4);
     }
 
     #[test]
@@ -119,6 +136,8 @@ mod tests {
         assert_eq!(t.t_aa(), 42);
         assert_eq!(t.t_ras(), 105);
         assert_eq!(t.t_rp(), 42);
+        // Matches DramConfig::off_package's transfer_cycles(64).
+        assert_eq!(t.t_ccd(), 15);
     }
 
     #[test]

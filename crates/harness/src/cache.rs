@@ -8,14 +8,14 @@
 //! distinct cell is simulated exactly once per harness, no matter how
 //! many figures ask for it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use tdc_core::RunReport;
 
 /// A thread-safe `cache_key -> Arc<RunReport>` store.
 #[derive(Default)]
 pub struct ResultCache {
-    map: Mutex<HashMap<String, Arc<RunReport>>>,
+    map: Mutex<BTreeMap<String, Arc<RunReport>>>,
 }
 
 impl ResultCache {
@@ -48,11 +48,9 @@ impl ResultCache {
     }
 
     /// All cached `(key, report)` pairs, sorted by key — a deterministic
-    /// order for artifact dumps.
+    /// order for artifact dumps (the map itself iterates in key order).
     pub fn snapshot(&self) -> Vec<(String, Arc<RunReport>)> {
         let map = self.map.lock().expect("cache poisoned");
-        let mut all: Vec<_> = map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-        all.sort_by(|a, b| a.0.cmp(&b.0));
-        all
+        map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
     }
 }

@@ -1,16 +1,18 @@
-//! A std-only worker pool for experiment jobs.
+//! The experiment-job front end of the shared worker pool.
 //!
-//! The pool executes a batch of [`Job`]s across `threads` OS threads
-//! (`std::thread::scope` + an atomic work index; no external crates).
-//! Scheduling order is **irrelevant to results**: every job is a pure
-//! function of its own fields (all RNG streams derive from the job's
-//! seed), so the batch's outputs are bit-identical whether it runs on
-//! one thread or sixteen. Only wall-clock time and the interleaving of
-//! progress lines vary.
+//! Scheduling is delegated to the generic [`tdc_util::pool::run_tasks`]
+//! scheduler (`std::thread::scope` + an atomic work index; no external
+//! crates); this module only adds the `Job`-specific pieces: per-job
+//! wall-clock timing and the progress callback. Scheduling order is
+//! **irrelevant to results**: every job is a pure function of its own
+//! fields (all RNG streams derive from the job's seed), so the batch's
+//! outputs are bit-identical whether it runs on one thread or sixteen.
+//! Only wall-clock time and the interleaving of progress lines vary.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+// Job timing feeds results/metrics.json, which is documented as the one
+// deliberately nondeterministic artifact (wall-clock telemetry).
+use std::time::{Duration, Instant}; // tdc-lint: allow(time-source)
 use tdc_core::experiment::Job;
 use tdc_core::RunReport;
 
@@ -32,40 +34,15 @@ pub fn run_batch(
     progress: &(dyn Fn(usize, usize, &str, Duration) + Sync),
 ) -> Vec<Completed> {
     let total = jobs.len();
-    if total == 0 {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, total);
-    let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Completed>>> = (0..total).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
-                let start = Instant::now();
-                let result = jobs[i].execute();
-                let elapsed = start.elapsed();
-                *slots[i].lock().expect("result slot poisoned") =
-                    Some(Completed { result, elapsed });
-                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                progress(finished, total, &jobs[i].label(), elapsed);
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker scope joined with job unfinished")
-        })
-        .collect()
+    tdc_util::pool::run_tasks(jobs, threads, |_, job| {
+        let start = Instant::now(); // tdc-lint: allow(time-source)
+        let result = job.execute();
+        let elapsed = start.elapsed();
+        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+        progress(finished, total, &job.label(), elapsed);
+        Completed { result, elapsed }
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,482 @@
+//! A minimal Rust source scanner for line-oriented lint rules.
+//!
+//! This is not a real tokenizer: it classifies every byte of a source
+//! file as *code*, *comment*, or *literal* so that rules can match
+//! identifiers without tripping over `"HashMap"` inside a string or a
+//! commented-out `panic!`. It handles the lexical shapes that matter:
+//!
+//! * line comments (`//`, `///`, `//!`) and block comments, including
+//!   **nested** block comments (`/* /* */ */`),
+//! * string literals with escapes (`"\" still inside \""`), byte
+//!   strings (`b"..."`),
+//! * raw strings with any hash depth (`r"..."`, `r#"..."#`,
+//!   `br##"..."##`),
+//! * char literals (`'\n'`, `'"'`) vs. lifetimes (`'static`).
+//!
+//! The scanner produces one [`Line`] per source line: the raw text, a
+//! `code` shadow where comment and literal *contents* are blanked to
+//! spaces (delimiters survive so the column structure stays roughly
+//! intact), and the set of lint rules suppressed on that line via
+//! `// tdc-lint: allow(rule)` pragmas.
+
+use std::collections::BTreeSet;
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line exactly as it appears in the file (no trailing newline).
+    pub raw: String,
+    /// The line with comment bodies and string/char contents replaced by
+    /// spaces. Rules match against this.
+    pub code: String,
+    /// Comment text on this line (joined; used for pragma detection).
+    pub comment: String,
+}
+
+/// A scanned file: lines plus derived suppression/test-region info.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    pub lines: Vec<Line>,
+    /// `allow(...)` pragmas in effect per line (1-based index parallel
+    /// to `lines`). A pragma on its own line also covers the next line.
+    pub allowed: Vec<BTreeSet<String>>,
+    /// Index of the first line at or after which everything is test
+    /// code, if any. Heuristic: the workspace convention keeps
+    /// `#[cfg(test)]` modules at the end of a file.
+    pub test_start: Option<usize>,
+}
+
+impl ScannedFile {
+    /// Whether `rule` is suppressed on 0-based line `idx`.
+    pub fn is_allowed(&self, idx: usize, rule: &str) -> bool {
+        self.allowed
+            .get(idx)
+            .is_some_and(|set| set.contains(rule) || set.contains("all"))
+    }
+
+    /// Whether 0-based line `idx` falls in the trailing test region.
+    pub fn is_test_code(&self, idx: usize) -> bool {
+        self.test_start.is_some_and(|start| idx >= start)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Block comment with nesting depth.
+    Block(u32),
+    /// String literal; `raw_hashes` is `Some(n)` for `r#"..."#` forms.
+    Str { raw_hashes: Option<u32> },
+}
+
+/// Scans a whole source file.
+pub fn scan(source: &str) -> ScannedFile {
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    for raw_line in source.split('\n') {
+        let raw = raw_line.strip_suffix('\r').unwrap_or(raw_line);
+        let (line, next_state) = scan_line(raw, state);
+        state = next_state;
+        lines.push(line);
+    }
+    // `split` yields one trailing empty chunk for a final newline; keep
+    // it — line numbers stay aligned with editors either way.
+    let allowed = collect_pragmas(&lines);
+    let test_start = lines
+        .iter()
+        .position(|l| l.code.contains("#[cfg(test)]"));
+    ScannedFile {
+        lines,
+        allowed,
+        test_start,
+    }
+}
+
+/// Scans one line starting in `state`; returns the line and the state
+/// carried into the next line.
+fn scan_line(raw: &str, mut state: State) -> (Line, State) {
+    let chars: Vec<char> = raw.chars().collect();
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    comment.push_str(&raw[byte_at(raw, i)..]);
+                    // Blank the rest of the line in `code`.
+                    for _ in i..chars.len() {
+                        code.push(' ');
+                    }
+                    break;
+                } else if c == '/' && next == Some('*') {
+                    state = State::Block(1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str { raw_hashes: None };
+                    code.push('"');
+                    i += 1;
+                } else if (c == 'r' || c == 'b')
+                    && !i.checked_sub(1).is_some_and(|p| {
+                        chars[p].is_ascii_alphanumeric() || chars[p] == '_'
+                    })
+                {
+                    // Possible raw/byte string start: r", r#", br#", b".
+                    if let Some((hashes, consumed)) = raw_string_open(&chars[i..]) {
+                        state = State::Str { raw_hashes: hashes };
+                        for _ in 0..consumed {
+                            code.push(' ');
+                        }
+                        code.push('"');
+                        i += consumed + 1;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal or lifetime.
+                    if let Some(len) = char_literal_len(&chars[i..]) {
+                        code.push('\'');
+                        for _ in 1..len - 1 {
+                            code.push(' ');
+                        }
+                        code.push('\'');
+                        i += len;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => unreachable!("line comments consume the rest of the line"),
+            State::Block(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    comment.push(' ');
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::Block(depth + 1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str { raw_hashes } => match raw_hashes {
+                None => {
+                    if c == '\\' {
+                        code.push(' ');
+                        if next.is_some() {
+                            code.push(' ');
+                        }
+                        i += 2;
+                    } else if c == '"' {
+                        state = State::Code;
+                        code.push('"');
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Some(n) => {
+                    if c == '"' && closes_raw(&chars[i + 1..], n) {
+                        state = State::Code;
+                        code.push('"');
+                        for _ in 0..n {
+                            code.push(' ');
+                        }
+                        i += 1 + n as usize;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            },
+        }
+    }
+    // An unterminated plain string at end of line: real Rust would have a
+    // trailing `\` continuation; either way the next line is still string.
+    if let State::LineComment = state {
+        state = State::Code;
+    }
+    (
+        Line {
+            raw: raw.to_string(),
+            code,
+            comment,
+        },
+        state,
+    )
+}
+
+/// Byte offset of the `idx`-th char in `s`.
+fn byte_at(s: &str, idx: usize) -> usize {
+    s.char_indices()
+        .nth(idx)
+        .map(|(b, _)| b)
+        .unwrap_or(s.len())
+}
+
+/// If `chars` opens a raw (byte) string (`r"`, `r#"`, `br##"` ...),
+/// returns `(Some(hash_count), chars consumed before the quote)`.
+/// A plain byte string `b"` returns `(None, 1)`.
+fn raw_string_open(chars: &[char]) -> Option<(Option<u32>, usize)> {
+    let mut i = 0;
+    if chars.first() == Some(&'b') {
+        i += 1;
+    }
+    let rawed = chars.get(i) == Some(&'r');
+    if rawed {
+        i += 1;
+        let mut hashes = 0u32;
+        while chars.get(i + hashes as usize) == Some(&'#') {
+            hashes += 1;
+        }
+        if chars.get(i + hashes as usize) == Some(&'"') {
+            return Some((Some(hashes), i + hashes as usize));
+        }
+        return None;
+    }
+    // Not raw: only a byte string `b"` counts (plain `"` is handled by
+    // the caller); bare identifiers starting with b/r fall through.
+    if i == 1 && chars.get(1) == Some(&'"') {
+        return Some((None, 1));
+    }
+    None
+}
+
+/// Whether `rest` (the chars after a `"`) begins with `n` hashes.
+fn closes_raw(rest: &[char], n: u32) -> bool {
+    (0..n as usize).all(|k| rest.get(k) == Some(&'#'))
+}
+
+/// If `chars` (starting at `'`) is a char literal, returns its total
+/// length in chars, else `None` (it is a lifetime or a lone quote).
+fn char_literal_len(chars: &[char]) -> Option<usize> {
+    debug_assert_eq!(chars.first(), Some(&'\''));
+    match chars.get(1) {
+        Some('\\') => {
+            // Escape: find the closing quote (handles '\n', '\'', '\u{1F4A9}').
+            let mut i = 2;
+            while let Some(&c) = chars.get(i) {
+                if c == '\'' {
+                    return Some(i + 1);
+                }
+                i += 1;
+                if i > 12 {
+                    break; // longest escape is \u{10FFFF}
+                }
+            }
+            None
+        }
+        Some(_) if chars.get(2) == Some(&'\'') => Some(3),
+        _ => None, // lifetime like 'a or 'static
+    }
+}
+
+/// Extracts per-line `tdc-lint: allow(rule, rule2)` pragmas.
+///
+/// A pragma suppresses findings on its own line; if the line holds
+/// nothing but the comment, it also covers the following line (so a
+/// pragma can sit above the offending statement).
+fn collect_pragmas(lines: &[Line]) -> Vec<BTreeSet<String>> {
+    let mut allowed: Vec<BTreeSet<String>> = vec![BTreeSet::new(); lines.len()];
+    for (i, line) in lines.iter().enumerate() {
+        let rules = parse_pragma(&line.comment);
+        if rules.is_empty() {
+            continue;
+        }
+        let comment_only = line.code.trim().is_empty();
+        allowed[i].extend(rules.iter().cloned());
+        if comment_only && i + 1 < lines.len() {
+            allowed[i + 1].extend(rules);
+        }
+    }
+    allowed
+}
+
+/// Parses `tdc-lint: allow(a, b)` out of comment text.
+fn parse_pragma(comment: &str) -> Vec<String> {
+    let Some(pos) = comment.find("tdc-lint:") else {
+        return Vec::new();
+    };
+    let rest = comment[pos + "tdc-lint:".len()..].trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return Vec::new();
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Vec::new();
+    };
+    let Some(end) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Splits a code shadow line into identifier tokens (ASCII rules are
+/// enough for this workspace).
+pub fn identifiers(code: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push(&code[start..i]);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        scan(src).lines.into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let code = code_of("let x = 1; // HashMap here\nlet y = 2;");
+        assert!(!code[0].contains("HashMap"));
+        assert!(code[0].contains("let x = 1;"));
+        assert_eq!(code[1], "let y = 2;");
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let code = code_of("a /* start\n HashMap \n end */ b");
+        assert!(code[0].starts_with("a "));
+        assert!(!code[1].contains("HashMap"));
+        assert!(code[2].trim_start().ends_with('b'));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let code = code_of("x /* outer /* inner */ still comment */ y");
+        let only = &code[0];
+        assert!(only.contains('x') && only.contains('y'));
+        assert!(!only.contains("outer") && !only.contains("inner"));
+        assert!(!only.contains("still"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_quotes_kept() {
+        let code = code_of(r#"let s = "HashMap // not a comment"; done();"#);
+        assert!(!code[0].contains("HashMap"));
+        assert!(code[0].contains("done();"));
+        assert_eq!(code[0].matches('"').count(), 2);
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_early() {
+        let code = code_of(r#"let s = "a\"HashMap\""; tail();"#);
+        assert!(!code[0].contains("HashMap"));
+        assert!(code[0].contains("tail();"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"HashMap \" inside\"#; after();";
+        let code = code_of(src);
+        assert!(!code[0].contains("HashMap"));
+        assert!(code[0].contains("after();"));
+    }
+
+    #[test]
+    fn multiline_raw_string() {
+        let src = "let s = r#\"line one\nHashMap line\n\"#; done();";
+        let code = code_of(src);
+        assert!(!code[1].contains("HashMap"));
+        assert!(code[2].contains("done();"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let code = code_of(r##"let b = b"Instant"; let rb = br#"SystemTime"#; x();"##);
+        assert!(!code[0].contains("Instant"));
+        assert!(!code[0].contains("SystemTime"));
+        assert!(code[0].contains("x();"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let code = code_of("let c = '\"'; let s: &'static str = f::<'_>(); g('\\n');");
+        // The double-quote char literal must not open a string.
+        assert!(code[0].contains("static"));
+        assert!(code[0].contains("g("));
+    }
+
+    #[test]
+    fn pragma_same_line_and_next_line() {
+        let src = "use std::collections::HashMap; // tdc-lint: allow(hash-collections)\n\
+                   // tdc-lint: allow(time-source, panic-in-lib)\n\
+                   let t = Instant::now();\n\
+                   let u = Instant::now();";
+        let f = scan(src);
+        assert!(f.is_allowed(0, "hash-collections"));
+        assert!(!f.is_allowed(0, "time-source"));
+        // Standalone pragma covers itself and the next line only.
+        assert!(f.is_allowed(1, "time-source"));
+        assert!(f.is_allowed(2, "time-source"));
+        assert!(f.is_allowed(2, "panic-in-lib"));
+        assert!(!f.is_allowed(3, "time-source"));
+    }
+
+    #[test]
+    fn pragma_inside_string_is_ignored() {
+        let f = scan(r#"let s = "tdc-lint: allow(all)"; HashMap::new();"#);
+        assert!(!f.is_allowed(0, "hash-collections"));
+    }
+
+    #[test]
+    fn test_region_detection() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests { fn t() {} }";
+        let f = scan(src);
+        assert!(!f.is_test_code(0));
+        assert!(f.is_test_code(1));
+        assert!(f.is_test_code(2));
+    }
+
+    #[test]
+    fn identifier_extraction_is_word_exact() {
+        let ids = identifiers("let known = now_cycles as u32;");
+        assert!(ids.contains(&"known"));
+        assert!(ids.contains(&"now_cycles"));
+        assert!(ids.contains(&"u32"));
+        assert!(!ids.contains(&"now"));
+    }
+}

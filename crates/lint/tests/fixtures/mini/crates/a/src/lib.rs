@@ -1,0 +1,18 @@
+//! Seeded violations for the tdc-lint fixture workspace — one hit per
+//! rule. This file is lint test *data*; it is never compiled.
+
+use std::collections::HashMap;
+
+pub fn determinism_hazards(maybe: Option<u64>, end_cycle: u64) -> u64 {
+    let started = std::time::Instant::now();
+    let lo = end_cycle as u32;
+    let v = maybe.unwrap();
+    if v == 0 {
+        panic!("seeded violation");
+    }
+    // tdc-lint: allow(hash-collections)
+    let allowed: std::collections::HashSet<u32> = Default::default();
+    emit(ProbeEvent::Used { n: 1 });
+    let _ = (started, lo, allowed);
+    v
+}

@@ -1,0 +1,5 @@
+//! Mini DRAM timing for the lint fixture.
+
+pub struct DramTiming {
+    pub t_rcd_ns: f64,
+}

@@ -1,0 +1,3 @@
+//! Mini figure list for the lint fixture.
+
+pub const ALL_IDS: [&str; 2] = ["figA", "figB"];

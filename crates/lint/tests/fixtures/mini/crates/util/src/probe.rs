@@ -1,0 +1,9 @@
+//! Mini probe declaration for the lint fixture.
+
+/// Fixture events.
+pub enum ProbeEvent {
+    /// Emitted by crates/a.
+    Used { n: u8 },
+    /// Never emitted anywhere: the seeded probe-coverage violation.
+    Orphan { n: u8 },
+}

@@ -1,6 +1,6 @@
 //! Page-table entries and per-process page tables.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tdc_util::{Cpn, Ppn, Vpn};
 
 /// Where a virtual page currently resolves to.
@@ -72,7 +72,7 @@ impl Pte {
 #[derive(Debug, Clone)]
 pub struct PageTable {
     asid: u32,
-    entries: HashMap<Vpn, Pte>,
+    entries: BTreeMap<Vpn, Pte>,
     next_seq: u64,
 }
 
@@ -87,7 +87,7 @@ impl PageTable {
     pub fn new(asid: u32) -> Self {
         Self {
             asid,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             next_seq: 0,
         }
     }

@@ -18,6 +18,9 @@
 //!   trait every simulator layer is generic over (with the no-op
 //!   [`NoProbe`] default), plus the [`Recorder`] sinks for interval
 //!   telemetry and Chrome trace-event export.
+//! * [`pool`] — a generic scoped worker pool ([`run_tasks`]) shared by
+//!   the experiment harness and the lint pass; results come back in
+//!   input order regardless of thread count.
 //!
 //! # Examples
 //!
@@ -34,6 +37,7 @@
 pub mod dist;
 pub mod json;
 pub mod mem;
+pub mod pool;
 pub mod probe;
 pub mod rng;
 pub mod stats;
@@ -42,6 +46,7 @@ pub use dist::{Bernoulli, Geometric, Uniform, WeightedIndex, Zipf};
 pub use json::{Json, JsonError};
 pub use mem::{CAddr, Cpn, Cycle, PAddr, Ppn, VAddr, Vpn};
 pub use mem::{BLOCKS_PER_PAGE, BLOCK_SHIFT, BLOCK_SIZE, PAGE_SHIFT, PAGE_SIZE};
+pub use pool::run_tasks;
 pub use probe::{EventGroup, NoProbe, Probe, ProbeEvent, Recorder, SharedProbe};
 pub use rng::{Pcg32, Rng, SplitMix64};
 pub use stats::{geomean, Histogram, RunningStats};

@@ -1,0 +1,99 @@
+//! A std-only generic worker pool.
+//!
+//! [`run_tasks`] executes one closure call per input item across a fixed
+//! number of OS threads (`std::thread::scope` + an atomic work index; no
+//! external crates) and returns the results **in input order**. It is the
+//! shared scheduler behind `tdc-harness`'s experiment batches and
+//! `tdc-lint`'s parallel file scan.
+//!
+//! Scheduling order must be irrelevant to results: each call should be a
+//! pure function of its item (and index), so outputs are bit-identical
+//! whether the batch runs on one thread or sixteen. The pool itself does
+//! no timing and no I/O; callers that want per-task wall-clock or progress
+//! reporting do it inside the closure (see `tdc-harness::pool`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `work(index, &items[index])` for every item on `threads` worker
+/// threads and returns the results in input order.
+///
+/// `threads` is clamped to `1..=items.len()`. Panics in `work` propagate
+/// out of the enclosing thread scope (poisoning nothing the caller keeps).
+pub fn run_tasks<T, R, F>(items: &[T], threads: usize, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let total = items.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, total);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let result = work(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker scope joined with task unfinished")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = run_tasks(&items, 7, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * x
+        });
+        assert_eq!(out.len(), 100);
+        for (i, &r) in out.iter().enumerate() {
+            assert_eq!(r, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let items: Vec<u32> = (0..37).collect();
+        let f = |_: usize, &x: &u32| x.wrapping_mul(2654435761);
+        assert_eq!(run_tasks(&items, 1, f), run_tasks(&items, 16, f));
+    }
+
+    #[test]
+    fn empty_input_and_oversubscription() {
+        let none: Vec<u8> = Vec::new();
+        assert!(run_tasks(&none, 4, |_, &x| x).is_empty());
+        // More threads than items: clamped, still correct.
+        let out = run_tasks(&[1u8, 2], 64, |_, &x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn non_copy_results_move_out_cleanly() {
+        let items = vec!["a", "bb", "ccc"];
+        let out = run_tasks(&items, 2, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:bb", "2:ccc"]);
+    }
+}

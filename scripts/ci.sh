@@ -18,9 +18,13 @@ cargo clippy -q --workspace --all-targets -- -D warnings
 echo "== tests (unit + property + integration) =="
 cargo test -q --workspace
 
-echo "== smoke: tdc all --jobs 2 at 5% scale =="
+echo "== lint: tdc lint (determinism & invariant static analysis) =="
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
+./target/release/tdc lint --out "$out"
+test -s "$out/lint.json" || { echo "lint wrote no lint.json" >&2; exit 1; }
+
+echo "== smoke: tdc all --jobs 2 at 5% scale =="
 ./target/release/tdc all --jobs 2 --scale 0.05 --quiet --out "$out"
 test -s "$out/index.json" || { echo "smoke run wrote no index.json" >&2; exit 1; }
 test -s "$out/metrics.json" || { echo "smoke run wrote no metrics.json" >&2; exit 1; }
