@@ -5,11 +5,16 @@
 //!
 //! Run with `cargo bench -p tdc-bench --bench micro`. Each benchmark is
 //! timed with `std::time::Instant` over a fixed iteration budget (no
-//! external benchmarking crate; the container builds offline), repeated
-//! `TDC_BENCH_RUNS` times (default 3), and reported as the **median**
-//! ns/op across runs — one noisy scheduler hiccup cannot skew the
-//! number. The full table is also written to
-//! `results/bench.json` (directory override: `TDC_BENCH_OUT`).
+//! external benchmarking crate; the container builds offline) and
+//! **repeated until stable**: after a minimum of `TDC_BENCH_RUNS`
+//! timed runs (default 3), runs continue until the medians of the two
+//! most recent 3-run windows agree within 2%
+//! (`tdc_util::stats::median_window_stable`) or `TDC_BENCH_MAX_RUNS`
+//! (default 10) is hit — so a machine with a noisy scheduler buys
+//! itself more repetitions instead of publishing a skewed number.
+//! Reported as the **median** ns/op across runs. The full table is
+//! also written to `results/bench.json` (directory override:
+//! `TDC_BENCH_OUT`).
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -61,7 +66,7 @@ impl BenchRecord {
     }
 }
 
-/// How many timed repetitions each benchmark gets.
+/// Minimum timed repetitions each benchmark gets.
 fn bench_runs() -> usize {
     std::env::var("TDC_BENCH_RUNS")
         .ok()
@@ -70,8 +75,26 @@ fn bench_runs() -> usize {
         .unwrap_or(3)
 }
 
-/// Times `iters` calls of `f`, repeated across runs after one 1/10
-/// warmup pass; prints median (min..max) ns/op and records the result.
+/// Hard cap on repetitions when the timings refuse to settle.
+fn bench_max_runs() -> usize {
+    std::env::var("TDC_BENCH_MAX_RUNS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(10)
+        .max(bench_runs())
+}
+
+/// The stability contract: medians of the two most recent
+/// [`STABLE_WINDOW`]-run windows within [`STABLE_TOLERANCE`] of each
+/// other (relative).
+const STABLE_WINDOW: usize = 3;
+const STABLE_TOLERANCE: f64 = 0.02;
+
+/// Times `iters` calls of `f` per run after one 1/10 warmup pass,
+/// repeating until [`tdc_util::stats::median_window_stable`] says the
+/// timing has settled (or the run cap is hit); prints median
+/// (min..max) ns/op and records the result.
 fn bench<T>(
     out: &mut Vec<BenchRecord>,
     group: &'static str,
@@ -82,20 +105,30 @@ fn bench<T>(
     for _ in 0..iters / 10 {
         black_box(f());
     }
+    let (min_runs, max_runs) = (bench_runs(), bench_max_runs());
     let mut runs = Vec::new();
-    for _ in 0..bench_runs() {
+    loop {
         let start = Instant::now();
         for _ in 0..iters {
             black_box(f());
         }
         runs.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        if runs.len() >= max_runs
+            || (runs.len() >= min_runs
+                && tdc_util::stats::median_window_stable(&runs, STABLE_WINDOW, STABLE_TOLERANCE))
+        {
+            break;
+        }
     }
+    let stable =
+        tdc_util::stats::median_window_stable(&runs, STABLE_WINDOW, STABLE_TOLERANCE);
     let rec = BenchRecord { group, name, iters, runs };
     println!(
-        "{:<28} {:>12.1} ns/op   (median of {}, min {:.1} max {:.1}, {} iters/run)",
+        "{:<28} {:>12.1} ns/op   (median of {}{}, min {:.1} max {:.1}, {} iters/run)",
         name,
         rec.median(),
         rec.runs.len(),
+        if stable { "" } else { ", UNSTABLE" },
         rec.min(),
         rec.max(),
         iters
@@ -227,7 +260,10 @@ fn write_json(records: &[BenchRecord]) {
     let dir = std::env::var("TDC_BENCH_OUT").unwrap_or_else(|_| "results".into());
     let dir = std::path::Path::new(&dir);
     let doc = Json::obj([
-        ("runs_per_bench", Json::from(bench_runs() as u64)),
+        ("min_runs", Json::from(bench_runs() as u64)),
+        ("max_runs", Json::from(bench_max_runs() as u64)),
+        ("stable_window", Json::from(STABLE_WINDOW as u64)),
+        ("stable_tolerance", Json::from(STABLE_TOLERANCE)),
         (
             "benches",
             Json::Arr(records.iter().map(BenchRecord::json).collect()),
@@ -242,8 +278,12 @@ fn write_json(records: &[BenchRecord]) {
 
 fn main() {
     println!(
-        "tagless-dram-cache microbenches (std::time, median of {} runs)",
-        bench_runs()
+        "tagless-dram-cache microbenches (std::time, repeat-until-stable: \
+         {}..{} runs, {}-run medians within {}%)",
+        bench_runs(),
+        bench_max_runs(),
+        STABLE_WINDOW,
+        STABLE_TOLERANCE * 100.0
     );
     let mut records = Vec::new();
     bench_dram_controller(&mut records);

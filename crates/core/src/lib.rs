@@ -42,4 +42,8 @@ pub use experiment::{
     run_job_probed, run_mix, run_parsec, run_single, Job, OrgKind, RunConfig, Workload,
 };
 pub use metrics::RunReport;
-pub use system::System;
+pub use system::{CoreResult, System};
+// Re-exported so downstream crates can name every public field of
+// `RunReport` without depending on the component crates directly.
+pub use tdc_dram::DramStats;
+pub use tdc_dram_cache::L3Stats;

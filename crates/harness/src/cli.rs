@@ -49,6 +49,13 @@ COMMANDS:
     diff <baseline-dir>
                 Regenerate figures and compare against a checked-in
                 baseline; exit non-zero on drift ('tdc diff -h')
+    shard <K>/<N>
+                Run shard K of an N-way hash partition of the full
+                evaluation; write partial runs/ plus a manifest
+                ('tdc shard -h')
+    merge <shard-dir>...
+                Validate a complete shard set and recombine it into
+                one results tree without re-simulating ('tdc merge -h')
     lint        Run the determinism/invariant static analysis over the
                 workspace sources; exit non-zero on any finding not in
                 the ratchet ('tdc lint -h')
@@ -136,6 +143,8 @@ pub fn run(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
         Some("trace") => return crate::trace::run(&args[1..]),
         Some("diff") => return crate::diff::run(&args[1..]),
+        Some("shard") => return crate::shard::run(&args[1..]),
+        Some("merge") => return crate::merge::run(&args[1..]),
         Some("lint") => return tdc_lint::cli::run(&args[1..]),
         _ => {}
     }

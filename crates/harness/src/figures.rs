@@ -12,7 +12,7 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 use tdc_core::experiment::{Job, OrgKind, Workload};
-use tdc_core::{AmatInputs, AmatModel, RunReport};
+use tdc_core::{AmatInputs, AmatModel, RunConfig, RunReport};
 use tdc_sram_cache::TagArrayModel;
 use tdc_trace::profiles::{MIXES, PARSEC_NAMES, SPEC_NAMES};
 use tdc_util::{geomean, Json};
@@ -45,6 +45,109 @@ pub const ALL_IDS: [&str; 10] = [
     "table6", "amat", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "table1",
 ];
 
+/// The comparison organizations of Fig. 7, column order.
+const FIG07_ORGS: [OrgKind; 4] = [
+    OrgKind::BankInterleave,
+    OrgKind::SramTag,
+    OrgKind::Tagless,
+    OrgKind::Ideal,
+];
+
+/// The comparison organizations of Fig. 9, column order.
+const FIG09_ORGS: [OrgKind; 3] = [OrgKind::BankInterleave, OrgKind::SramTag, OrgKind::Tagless];
+
+/// The cache sizes Fig. 10 sweeps, column order.
+const FIG10_SIZES: [u64; 3] = [256 << 20, 512 << 20, 1 << 30];
+
+/// The organizations Fig. 10 runs at each size.
+const FIG10_ORGS: [OrgKind; 3] = [OrgKind::BankInterleave, OrgKind::SramTag, OrgKind::Tagless];
+
+/// The cache sizes Fig. 11 compares FIFO vs LRU at, column order.
+const FIG11_SIZES: [u64; 2] = [1 << 30, 512 << 20];
+
+/// The organizations of Fig. 12, column order (baseline first).
+const FIG12_ORGS: [OrgKind; 4] = [
+    OrgKind::NoL3,
+    OrgKind::BankInterleave,
+    OrgKind::SramTag,
+    OrgKind::Tagless,
+];
+
+/// The exact simulation cells figure `id` requests, in request order.
+/// `None` for unknown ids.
+///
+/// This is the **single source of truth** shared by the generators
+/// below (which feed the list to [`Harness::run_all`] and consume the
+/// results positionally) and by the shard planner
+/// ([`crate::shard::plan`], which unions the lists over [`ALL_IDS`] to
+/// partition the sweep across machines). A figure added here is
+/// automatically part of the sharded sweep.
+pub fn jobs_for(id: &str, cfg: &RunConfig) -> Option<Vec<Job>> {
+    let spec = |b: &str, org: OrgKind| Job::new(Workload::Spec(b.to_string()), org, *cfg);
+    let mix = |m: &str, org: OrgKind| Job::new(Workload::Mix(m.to_string()), org, *cfg);
+    let jobs = match id {
+        "fig07" => SPEC_NAMES
+            .iter()
+            .flat_map(|b| {
+                std::iter::once(spec(b, OrgKind::NoL3))
+                    .chain(FIG07_ORGS.iter().map(|o| spec(b, *o)))
+            })
+            .collect(),
+        "fig08" => SPEC_NAMES
+            .iter()
+            .flat_map(|b| [spec(b, OrgKind::SramTag), spec(b, OrgKind::Tagless)])
+            .collect(),
+        "fig09" => MIXES
+            .iter()
+            .flat_map(|(m, _)| {
+                std::iter::once(mix(m, OrgKind::NoL3))
+                    .chain(FIG09_ORGS.iter().map(|o| mix(m, *o)))
+            })
+            .collect(),
+        "fig10" => {
+            let mut jobs = Vec::new();
+            for (m, _) in MIXES {
+                for &size in &FIG10_SIZES {
+                    let cfg = cfg.with_cache_bytes(size);
+                    for org in FIG10_ORGS {
+                        jobs.push(Job::new(Workload::Mix(m.to_string()), org, cfg));
+                    }
+                }
+            }
+            jobs
+        }
+        "fig11" => {
+            let mut jobs = Vec::new();
+            for (m, _) in MIXES {
+                for &size in &FIG11_SIZES {
+                    let cfg = cfg.with_cache_bytes(size);
+                    jobs.push(Job::new(Workload::Mix(m.to_string()), OrgKind::Tagless, cfg));
+                    jobs.push(Job::new(Workload::Mix(m.to_string()), OrgKind::TaglessLru, cfg));
+                }
+            }
+            jobs
+        }
+        "fig12" => PARSEC_NAMES
+            .iter()
+            .flat_map(|b| {
+                FIG12_ORGS
+                    .iter()
+                    .map(|o| Job::new(Workload::Parsec(b.to_string()), *o, *cfg))
+            })
+            .collect(),
+        "fig13" => vec![
+            spec("GemsFDTD", OrgKind::NoL3),
+            spec("GemsFDTD", OrgKind::Tagless),
+            Job::spec_nc("GemsFDTD", 32, *cfg),
+        ],
+        "table1" => vec![Job::spec_nc("GemsFDTD", 32, *cfg)],
+        "table6" => Vec::new(), // analytic; runs no simulations
+        "amat" => vec![spec("milc", OrgKind::SramTag), spec("milc", OrgKind::Tagless)],
+        _ => return None,
+    };
+    Some(jobs)
+}
+
 /// Generates one figure by id. `None` for unknown ids.
 pub fn generate(id: &str, h: &Harness) -> Option<FigureData> {
     match id {
@@ -66,14 +169,6 @@ fn fmt_pct(x: f64) -> String {
     format!("{:+.1}%", (x - 1.0) * 100.0)
 }
 
-fn spec(bench: &str, org: OrgKind, h: &Harness) -> Job {
-    Job::new(Workload::Spec(bench.to_string()), org, h.cfg)
-}
-
-fn mix(name: &str, org: OrgKind, h: &Harness) -> Job {
-    Job::new(Workload::Mix(name.to_string()), org, h.cfg)
-}
-
 fn figure_json(id: &str, title: &str, h: &Harness) -> Json {
     Json::obj([
         ("figure", Json::from(id)),
@@ -86,18 +181,8 @@ fn figure_json(id: &str, title: &str, h: &Harness) -> Json {
 /// BI / SRAM / cTLB / Ideal, normalized to the no-L3 baseline.
 pub fn fig07(h: &Harness) -> FigureData {
     let title = "Figure 7: single-programmed IPC and EDP (normalized to No L3)";
-    let orgs = [
-        OrgKind::BankInterleave,
-        OrgKind::SramTag,
-        OrgKind::Tagless,
-        OrgKind::Ideal,
-    ];
-    let jobs: Vec<Job> = SPEC_NAMES
-        .iter()
-        .flat_map(|b| {
-            std::iter::once(spec(b, OrgKind::NoL3, h)).chain(orgs.iter().map(|o| spec(b, *o, h)))
-        })
-        .collect();
+    let orgs = FIG07_ORGS;
+    let jobs = jobs_for("fig07", &h.cfg).expect("known id");
     let results = h.run_all(&jobs);
 
     let mut text = String::new();
@@ -187,10 +272,7 @@ pub fn fig07(h: &Harness) -> FigureData {
 /// caches (TLB access time included), per SPEC program.
 pub fn fig08(h: &Harness) -> FigureData {
     let title = "Figure 8: average L3 access latency (cycles; lower is better)";
-    let jobs: Vec<Job> = SPEC_NAMES
-        .iter()
-        .flat_map(|b| [spec(b, OrgKind::SramTag, h), spec(b, OrgKind::Tagless, h)])
-        .collect();
+    let jobs = jobs_for("fig08", &h.cfg).expect("known id");
     let results = h.run_all(&jobs);
 
     let mut text = String::new();
@@ -238,13 +320,8 @@ pub fn fig08(h: &Harness) -> FigureData {
 /// normalized to the no-L3 baseline.
 pub fn fig09(h: &Harness) -> FigureData {
     let title = "Figure 9: multi-programmed IPC and EDP (normalized to No L3)";
-    let orgs = [OrgKind::BankInterleave, OrgKind::SramTag, OrgKind::Tagless];
-    let jobs: Vec<Job> = MIXES
-        .iter()
-        .flat_map(|(m, _)| {
-            std::iter::once(mix(m, OrgKind::NoL3, h)).chain(orgs.iter().map(|o| mix(m, *o, h)))
-        })
-        .collect();
+    let orgs = FIG09_ORGS;
+    let jobs = jobs_for("fig09", &h.cfg).expect("known id");
     let results = h.run_all(&jobs);
 
     let mut text = String::new();
@@ -309,16 +386,8 @@ pub fn fig09(h: &Harness) -> FigureData {
 /// bank-interleaving baseline at each size.
 pub fn fig10(h: &Harness) -> FigureData {
     let title = "Figure 10: cache-size sensitivity (IPC normalized to BI)";
-    let sizes = [256u64 << 20, 512 << 20, 1 << 30];
-    let mut jobs = Vec::new();
-    for (m, _) in MIXES {
-        for &size in &sizes {
-            let cfg = h.cfg.with_cache_bytes(size);
-            for org in [OrgKind::BankInterleave, OrgKind::SramTag, OrgKind::Tagless] {
-                jobs.push(Job::new(Workload::Mix(m.to_string()), org, cfg));
-            }
-        }
-    }
+    let sizes = FIG10_SIZES;
+    let jobs = jobs_for("fig10", &h.cfg).expect("known id");
     let results = h.run_all(&jobs);
 
     let mut text = String::new();
@@ -399,15 +468,8 @@ pub fn fig10(h: &Harness) -> FigureData {
 /// Figure 11: FIFO vs LRU replacement for the tagless cache.
 pub fn fig11(h: &Harness) -> FigureData {
     let title = "Figure 11: replacement policy (LRU IPC normalized to FIFO)";
-    let sizes = [1u64 << 30, 512 << 20];
-    let mut jobs = Vec::new();
-    for (m, _) in MIXES {
-        for &size in &sizes {
-            let cfg = h.cfg.with_cache_bytes(size);
-            jobs.push(Job::new(Workload::Mix(m.to_string()), OrgKind::Tagless, cfg));
-            jobs.push(Job::new(Workload::Mix(m.to_string()), OrgKind::TaglessLru, cfg));
-        }
-    }
+    let sizes = FIG11_SIZES;
+    let jobs = jobs_for("fig11", &h.cfg).expect("known id");
     let results = h.run_all(&jobs);
 
     let mut text = String::new();
@@ -452,19 +514,8 @@ pub fn fig11(h: &Harness) -> FigureData {
 /// Figure 12: IPC speedup and EDP of the four PARSEC programs.
 pub fn fig12(h: &Harness) -> FigureData {
     let title = "Figure 12: multi-threaded (PARSEC) IPC and EDP (normalized to No L3)";
-    let orgs = [
-        OrgKind::NoL3,
-        OrgKind::BankInterleave,
-        OrgKind::SramTag,
-        OrgKind::Tagless,
-    ];
-    let jobs: Vec<Job> = PARSEC_NAMES
-        .iter()
-        .flat_map(|b| {
-            orgs.iter()
-                .map(|o| Job::new(Workload::Parsec(b.to_string()), *o, h.cfg))
-        })
-        .collect();
+    let orgs = FIG12_ORGS;
+    let jobs = jobs_for("fig12", &h.cfg).expect("known id");
     let results = h.run_all(&jobs);
 
     let mut text = String::new();
@@ -515,11 +566,7 @@ pub fn fig12(h: &Harness) -> FigureData {
 /// Figure 13: the §5.4 non-cacheable case study on 459.GemsFDTD.
 pub fn fig13(h: &Harness) -> FigureData {
     let title = "Figure 13: non-cacheable pages on GemsFDTD (IPC normalized to No L3)";
-    let jobs = [
-        spec("GemsFDTD", OrgKind::NoL3, h),
-        spec("GemsFDTD", OrgKind::Tagless, h),
-        Job::spec_nc("GemsFDTD", 32, h.cfg),
-    ];
+    let jobs = jobs_for("fig13", &h.cfg).expect("known id");
     let results = h.run_all(&jobs);
     let (base, plain, nc) = (&results[0], &results[1], &results[2]);
 
@@ -563,7 +610,8 @@ pub fn fig13(h: &Harness) -> FigureData {
 /// the tagless design, measured directly from the simulator.
 pub fn table1(h: &Harness) -> FigureData {
     let title = "Table 1: the four access cases (measured on GemsFDTD+NC)";
-    let nc: Arc<RunReport> = h.run(Job::spec_nc("GemsFDTD", 32, h.cfg));
+    let jobs = jobs_for("table1", &h.cfg).expect("known id");
+    let nc: Arc<RunReport> = h.run_all(&jobs).pop().expect("one job in, one out");
     let s = &nc.l3;
     let total =
         (s.case_hit_hit + s.case_hit_miss + s.case_miss_hit + s.case_miss_miss).max(1) as f64;
@@ -680,10 +728,8 @@ pub fn table6(h: &Harness) -> FigureData {
 pub fn amat(h: &Harness) -> FigureData {
     let title = "AMAT model (Equations 1-5)";
     let i = AmatInputs::paper_representative();
-    let results = h.run_all(&[
-        spec("milc", OrgKind::SramTag, h),
-        spec("milc", OrgKind::Tagless, h),
-    ]);
+    let jobs = jobs_for("amat", &h.cfg).expect("known id");
+    let results = h.run_all(&jobs);
     let (sram, ctlb) = (&results[0], &results[1]);
 
     let mut text = String::new();

@@ -81,6 +81,15 @@ impl Harness {
         self.cache.snapshot()
     }
 
+    /// Seeds the cache with an already-computed report, as if the job
+    /// with `key` had just run. `tdc merge` uses this to rehydrate a
+    /// harness from shard artifacts so figure generation is pure cache
+    /// hits; callers must only preload reports the keyed job would
+    /// itself have produced, or the determinism contract breaks.
+    pub fn preload(&self, key: String, report: RunReport) -> Arc<RunReport> {
+        self.cache.insert(key, report)
+    }
+
     /// Per-job wall-clock timings of every cell simulated so far, as
     /// `(label, seconds)` sorted by label. Timing data feeds
     /// `results/metrics.json` — the one artifact that is deliberately

@@ -28,6 +28,11 @@
 //!   exporting interval telemetry and a Chrome/Perfetto trace.
 //! * [`diff`] — `tdc diff <baseline-dir>`: regression gating against a
 //!   checked-in figure snapshot (non-zero exit on drift).
+//! * [`shard`] — `tdc shard K/N`: run one hash-partitioned slice of
+//!   the evaluation on one machine; emits the slice's `runs/` reports
+//!   plus a manifest.
+//! * [`merge`] — `tdc merge <dir>...`: validate a complete shard set
+//!   and recombine it into one `results/` tree without re-simulating.
 //!
 //! # Example
 //!
@@ -48,7 +53,9 @@ pub mod cli;
 pub mod diff;
 pub mod figures;
 pub mod harness;
+pub mod merge;
 pub mod pool;
+pub mod shard;
 pub mod sink;
 pub mod trace;
 

@@ -1,0 +1,571 @@
+//! The `tdc merge` subcommand: recombine shard directories into one
+//! complete `results/` tree.
+//!
+//! ```text
+//! tdc merge shard1 shard2 shard3 shard4 --out results
+//! tdc merge shard1 shard2 --diff baselines/scale-0.25
+//! ```
+//!
+//! Merging never simulates. It validates that the given shard
+//! manifests form exactly one complete, mutually compatible partition
+//! (same schema version, same configuration/scale/baseline
+//! fingerprint, pairwise-disjoint job keys, no shard missing, union
+//! equal to the plan), rehydrates every `runs/<cell>.json` report into
+//! a harness cache, regenerates every figure from the cache, and
+//! writes the standard artifact tree. Because cells are deterministic
+//! and reports round-trip losslessly through JSON, the merged
+//! `results/` is byte-identical to what a direct `tdc all` at the same
+//! configuration would have produced (`metrics.json` excepted — that
+//! artifact is deliberately machine-local).
+//!
+//! Every validation failure has its own message and a non-zero exit,
+//! so fleet scripts can tell "re-run shard 3" apart from "these shards
+//! are from different sweeps".
+
+use std::fs;
+use std::path::{Path, PathBuf};
+// Wall-clock feeds only the stderr summary and metrics.json.
+use std::time::Instant; // tdc-lint: allow(time-source)
+use tdc_core::RunConfig;
+use tdc_util::Json;
+
+use crate::diff::{collect_drift, DEFAULT_TOLERANCE};
+use crate::figures::{generate, ALL_IDS};
+use crate::harness::Harness;
+use crate::shard::{plan, MANIFEST_NAME, MANIFEST_VERSION};
+use crate::sink::{report_from_json, write_metrics, write_results};
+
+const USAGE: &str = "\
+tdc merge — recombine 'tdc shard' output directories into one results tree
+
+USAGE:
+    tdc merge <SHARD-DIR>... [OPTIONS]
+
+OPTIONS:
+    --out DIR       Merged artifact directory (default: results)
+    --diff DIR      After merging, compare the merged figures against a
+                    baseline snapshot directory; exit 1 on drift
+    --quiet         Suppress progress output on stderr
+    -h, --help      Show this help
+
+The shard directories must form exactly one complete partition: same
+manifest version, scale, seed/config, and baseline fingerprint; every
+shard 1..N present exactly once; job keys pairwise disjoint and
+jointly equal to the full plan. Any violation exits non-zero with a
+message naming the offending shard(s). Merging re-reads the shards'
+runs/*.json reports and regenerates figures without simulating, so
+the merged tree is byte-identical to a direct 'tdc all' run
+(metrics.json excepted).";
+
+struct MergeOptions {
+    dirs: Vec<PathBuf>,
+    out: PathBuf,
+    diff: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse(args: &[String]) -> Result<MergeOptions, String> {
+    let mut opts = MergeOptions {
+        dirs: Vec::new(),
+        out: PathBuf::from("results"),
+        diff: None,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => opts.out = PathBuf::from(value("--out")?),
+            "--diff" => opts.diff = Some(PathBuf::from(value("--diff")?)),
+            "--quiet" => opts.quiet = true,
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            d if !d.starts_with('-') => opts.dirs.push(PathBuf::from(d)),
+            other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
+        }
+    }
+    if opts.dirs.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(opts)
+}
+
+/// One parsed shard manifest plus where it came from.
+#[derive(Debug)]
+struct ShardManifest {
+    dir: PathBuf,
+    shard: u64,
+    total: u64,
+    scale: f64,
+    cfg: RunConfig,
+    fingerprint: String,
+    keys: Vec<String>,
+}
+
+fn read_json(path: &Path) -> Result<Json, String> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+fn load_manifest(dir: &Path) -> Result<ShardManifest, String> {
+    let path = dir.join(MANIFEST_NAME);
+    let doc = read_json(&path)?;
+    let u64_at = |name: &str| -> Result<u64, String> {
+        doc.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{}: missing integer field '{name}'", path.display()))
+    };
+    let version = u64_at("format_version")?;
+    if version != MANIFEST_VERSION {
+        return Err(format!(
+            "{}: unsupported manifest format_version {version} (this tdc understands {MANIFEST_VERSION})",
+            path.display()
+        ));
+    }
+    let scale = doc
+        .get("scale")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{}: missing numeric field 'scale'", path.display()))?;
+    let cfgj = doc
+        .get("config")
+        .ok_or_else(|| format!("{}: missing object 'config'", path.display()))?;
+    let cfg_field = |name: &str| -> Result<u64, String> {
+        cfgj.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{}: config is missing '{name}'", path.display()))
+    };
+    let cfg = RunConfig {
+        seed: cfg_field("seed")?,
+        cache_bytes: cfg_field("cache_bytes")?,
+        warmup_refs: cfg_field("warmup_refs")?,
+        measured_refs: cfg_field("measured_refs")?,
+    };
+    let fingerprint = doc
+        .get("baseline_fingerprint")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{}: missing string field 'baseline_fingerprint'", path.display()))?
+        .to_string();
+    let keys = match doc.get("job_keys") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|k| {
+                k.as_str().map(str::to_string).ok_or_else(|| {
+                    format!("{}: job_keys contains a non-string entry", path.display())
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        _ => return Err(format!("{}: missing array 'job_keys'", path.display())),
+    };
+    Ok(ShardManifest {
+        dir: dir.to_path_buf(),
+        shard: u64_at("shard")?,
+        total: u64_at("total_shards")?,
+        scale,
+        cfg,
+        fingerprint,
+        keys,
+    })
+}
+
+/// Checks that `manifests` form exactly one complete, compatible
+/// partition. Each failure mode has a distinct message.
+fn validate(manifests: &[ShardManifest]) -> Result<(), String> {
+    let first = manifests.first().ok_or("no shard directories given")?;
+
+    // Pairwise compatibility against the first manifest.
+    for m in &manifests[1..] {
+        if m.total != first.total {
+            return Err(format!(
+                "shard count mismatch: {} says {} total shards but {} says {}",
+                first.dir.display(),
+                first.total,
+                m.dir.display(),
+                m.total
+            ));
+        }
+        if m.scale != first.scale {
+            return Err(format!(
+                "scale mismatch: {} ran at scale {} but {} ran at scale {}",
+                first.dir.display(),
+                first.scale,
+                m.dir.display(),
+                m.scale
+            ));
+        }
+        if m.cfg != first.cfg {
+            return Err(format!(
+                "config mismatch: {} and {} were produced under different run configurations \
+                 (seed/cache/refs differ)",
+                first.dir.display(),
+                m.dir.display()
+            ));
+        }
+        if m.fingerprint != first.fingerprint {
+            return Err(format!(
+                "baseline mismatch: {} was produced against baseline {} but {} against {}",
+                first.dir.display(),
+                first.fingerprint,
+                m.dir.display(),
+                m.fingerprint
+            ));
+        }
+    }
+
+    // Every shard 1..=N exactly once.
+    for m in manifests {
+        if m.shard == 0 || m.shard > m.total {
+            return Err(format!(
+                "{}: shard id {} is outside 1..={}",
+                m.dir.display(),
+                m.shard,
+                m.total
+            ));
+        }
+    }
+    let mut ids: Vec<(u64, &Path)> = manifests.iter().map(|m| (m.shard, m.dir.as_path())).collect();
+    ids.sort_by_key(|(id, _)| *id);
+    for pair in ids.windows(2) {
+        if pair[0].0 == pair[1].0 {
+            return Err(format!(
+                "duplicate shard {}/{}: provided by both {} and {}",
+                pair[0].0,
+                first.total,
+                pair[0].1.display(),
+                pair[1].1.display()
+            ));
+        }
+    }
+    let missing: Vec<String> = (1..=first.total)
+        .filter(|k| !ids.iter().any(|(id, _)| id == k))
+        .map(|k| format!("{k}/{}", first.total))
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!("missing shard(s): {}", missing.join(", ")));
+    }
+
+    // Job keys pairwise disjoint.
+    for (i, a) in manifests.iter().enumerate() {
+        for b in &manifests[i + 1..] {
+            if let Some(key) = a.keys.iter().find(|k| b.keys.contains(k)) {
+                return Err(format!(
+                    "overlapping shards: {} and {} both claim job key '{key}'",
+                    a.dir.display(),
+                    b.dir.display()
+                ));
+            }
+        }
+    }
+
+    // Union equals the plan for the recorded configuration.
+    let mut union: Vec<&String> = manifests.iter().flat_map(|m| m.keys.iter()).collect();
+    union.sort();
+    let expected: Vec<String> = plan(&first.cfg).iter().map(|j| j.cache_key()).collect();
+    let missing: Vec<&String> = expected.iter().filter(|k| !union.contains(k)).collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "incomplete partition: {} plan job(s) missing from the shard manifests \
+             (first: '{}')",
+            missing.len(),
+            missing[0]
+        ));
+    }
+    let extra: Vec<&&String> = union.iter().filter(|k| !expected.contains(k)).collect();
+    if !extra.is_empty() {
+        return Err(format!(
+            "unexpected job key(s) not in the plan for this configuration \
+             ({} extra; first: '{}')",
+            extra.len(),
+            extra[0]
+        ));
+    }
+    Ok(())
+}
+
+/// Reads every `runs/*.json` report of `m` and feeds it into
+/// `harness`'s cache. Errors name the shard and the missing key.
+fn rehydrate(m: &ShardManifest, harness: &Harness) -> Result<usize, String> {
+    let runs = m.dir.join("runs");
+    let mut loaded = 0usize;
+    let entries = fs::read_dir(&runs)
+        .map_err(|e| format!("{}: cannot read runs/: {e}", m.dir.display()))?;
+    let mut seen: Vec<String> = Vec::new();
+    for entry in entries {
+        let path = entry
+            .map_err(|e| format!("{}: cannot list runs/: {e}", m.dir.display()))?
+            .path();
+        if path.extension().map(|e| e != "json").unwrap_or(true) {
+            continue;
+        }
+        let doc = read_json(&path)?;
+        let (key, report) = report_from_json(&doc)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        if !m.keys.contains(&key) {
+            return Err(format!(
+                "{}: report for job key '{key}' is not listed in this shard's manifest",
+                path.display()
+            ));
+        }
+        harness.preload(key.clone(), report);
+        seen.push(key);
+        loaded += 1;
+    }
+    if let Some(key) = m.keys.iter().find(|k| !seen.contains(k)) {
+        return Err(format!(
+            "{}: manifest lists job key '{key}' but runs/ has no report for it",
+            m.dir.display()
+        ));
+    }
+    Ok(loaded)
+}
+
+/// Compares every merged figure summary against `<baseline>/<id>.json`
+/// (the `tdc diff` baseline layout). Returns the drifting-figure
+/// count.
+fn gate(
+    baseline: &Path,
+    figures: &[crate::figures::FigureData],
+    quiet: bool,
+) -> Result<usize, String> {
+    let mut drifting = 0usize;
+    for fig in figures {
+        let want = read_json(&baseline.join(format!("{}.json", fig.id)))?;
+        let mut drift = Vec::new();
+        collect_drift(fig.id, &want, &fig.json, DEFAULT_TOLERANCE, &mut drift);
+        if drift.is_empty() {
+            if !quiet {
+                eprintln!("tdc merge: {:<8} ok", fig.id);
+            }
+        } else {
+            drifting += 1;
+            eprintln!("tdc merge: {:<8} DRIFT ({} leaves)", fig.id, drift.len());
+            for line in drift.iter().take(8) {
+                eprintln!("    {line}");
+            }
+        }
+    }
+    Ok(drifting)
+}
+
+fn execute(opts: &MergeOptions) -> Result<usize, String> {
+    let start = Instant::now(); // tdc-lint: allow(time-source)
+    let manifests = opts
+        .dirs
+        .iter()
+        .map(|d| load_manifest(d))
+        .collect::<Result<Vec<_>, String>>()?;
+    validate(&manifests)?;
+    let first = manifests.first().expect("validate checked non-empty");
+    let cfg = first.cfg;
+
+    let harness = Harness::new(cfg, 1).verbose(false);
+    let mut loaded = 0usize;
+    for m in &manifests {
+        loaded += rehydrate(m, &harness)?;
+    }
+    if !opts.quiet {
+        eprintln!(
+            "tdc merge: {} shards validated, {} cell reports loaded; regenerating {} figures",
+            manifests.len(),
+            loaded,
+            ALL_IDS.len()
+        );
+    }
+
+    let mut figures = Vec::new();
+    for id in ALL_IDS {
+        figures.push(generate(id, &harness).ok_or_else(|| format!("unknown figure id '{id}'"))?);
+    }
+    let stats = harness.stats();
+    if stats.executed != 0 {
+        // The rehydrated cache must cover the plan; validate() and
+        // rehydrate() guarantee it, so any simulation here is a bug.
+        return Err(format!(
+            "internal error: merge simulated {} cell(s) instead of using shard reports",
+            stats.executed
+        ));
+    }
+
+    write_results(&opts.out, &cfg, &figures, &harness.results())
+        .map_err(|e| format!("cannot write artifacts under {}: {e}", opts.out.display()))?;
+    write_metrics(
+        &opts.out,
+        &stats,
+        0,
+        start.elapsed().as_secs_f64(),
+        &harness.timings(),
+    )
+    .map_err(|e| format!("cannot write metrics under {}: {e}", opts.out.display()))?;
+    if !opts.quiet {
+        eprintln!(
+            "tdc merge: wrote merged results under {} in {:.2}s",
+            opts.out.display(),
+            start.elapsed().as_secs_f64()
+        );
+    }
+
+    match &opts.diff {
+        Some(baseline) => gate(baseline, &figures, opts.quiet),
+        None => Ok(0),
+    }
+}
+
+/// Runs `tdc merge` with `args` (everything after the subcommand
+/// name). Returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    let opts = match parse(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    match execute(&opts) {
+        Ok(0) => 0,
+        Ok(n) => {
+            eprintln!("tdc merge: {n} figure(s) drifted from {}",
+                opts.diff.as_deref().unwrap_or(Path::new("?")).display());
+            1
+        }
+        Err(msg) => {
+            eprintln!("tdc merge: {msg}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::manifest_json;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tiny() -> RunConfig {
+        RunConfig {
+            seed: 2015,
+            cache_bytes: 1 << 30,
+            warmup_refs: 1_000,
+            measured_refs: 2_000,
+        }
+    }
+
+    fn manifest(shard: u64, total: u64, keys: &[&str]) -> ShardManifest {
+        ShardManifest {
+            dir: PathBuf::from(format!("shard{shard}")),
+            shard,
+            total,
+            scale: 0.25,
+            cfg: tiny(),
+            fingerprint: "fnv:0".into(),
+            keys: keys.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn parse_collects_dirs_and_flags() {
+        let o = parse(&strs(&["a", "b", "--out", "m", "--diff", "base", "--quiet"])).unwrap();
+        assert_eq!(o.dirs, vec![PathBuf::from("a"), PathBuf::from("b")]);
+        assert_eq!(o.out, PathBuf::from("m"));
+        assert_eq!(o.diff, Some(PathBuf::from("base")));
+        assert!(o.quiet);
+        assert!(parse(&[]).is_err(), "at least one dir required");
+        assert!(parse(&strs(&["a", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_each_failure_mode_distinctly() {
+        // Duplicate shard id.
+        let err = validate(&[manifest(1, 2, &["a"]), manifest(1, 2, &["b"])]).unwrap_err();
+        assert!(err.contains("duplicate shard 1/2"), "{err}");
+        // Missing shard.
+        let err = validate(&[manifest(1, 3, &["a"]), manifest(3, 3, &["b"])]).unwrap_err();
+        assert!(err.contains("missing shard(s): 2/3"), "{err}");
+        // Overlap.
+        let err = validate(&[manifest(1, 2, &["a", "x"]), manifest(2, 2, &["x"])]).unwrap_err();
+        assert!(err.contains("overlapping shards"), "{err}");
+        assert!(err.contains("'x'"), "{err}");
+        // Total mismatch.
+        let err = validate(&[manifest(1, 2, &["a"]), manifest(2, 3, &["b"])]).unwrap_err();
+        assert!(err.contains("shard count mismatch"), "{err}");
+        // Scale mismatch.
+        let mut b = manifest(2, 2, &["b"]);
+        b.scale = 0.5;
+        let err = validate(&[manifest(1, 2, &["a"]), b]).unwrap_err();
+        assert!(err.contains("scale mismatch"), "{err}");
+        // Config mismatch.
+        let mut b = manifest(2, 2, &["b"]);
+        b.cfg.seed = 7;
+        let err = validate(&[manifest(1, 2, &["a"]), b]).unwrap_err();
+        assert!(err.contains("config mismatch"), "{err}");
+        // Baseline mismatch.
+        let mut b = manifest(2, 2, &["b"]);
+        b.fingerprint = "fnv:1".into();
+        let err = validate(&[manifest(1, 2, &["a"]), b]).unwrap_err();
+        assert!(err.contains("baseline mismatch"), "{err}");
+        // Out-of-range shard id.
+        let err = validate(&[manifest(5, 2, &["a"]), manifest(2, 2, &["b"])]).unwrap_err();
+        assert!(err.contains("outside 1..=2"), "{err}");
+    }
+
+    #[test]
+    fn validate_accepts_the_real_partition_and_flags_foreign_keys() {
+        let cfg = tiny();
+        let full = plan(&cfg);
+        let total = 2u64;
+        let mut shards: Vec<ShardManifest> = (1..=total)
+            .map(|k| {
+                let keys: Vec<String> = crate::shard::shard_jobs(&full, k, total)
+                    .iter()
+                    .map(|j| j.cache_key())
+                    .collect();
+                let mut m = manifest(k, total, &[]);
+                m.keys = keys;
+                m
+            })
+            .collect();
+        validate(&shards).expect("a real hash partition must validate");
+        // A key nobody planned is rejected…
+        shards[0].keys.push("spec:bogus|nonsense".into());
+        let err = validate(&shards).unwrap_err();
+        assert!(err.contains("unexpected job key"), "{err}");
+        // …and dropping a planned key is incomplete.
+        shards[0].keys.pop();
+        let dropped = shards[0].keys.pop().expect("shard 1 owns at least one key");
+        let err = validate(&shards).unwrap_err();
+        assert!(err.contains("incomplete partition"), "{err}");
+        assert!(err.contains(&dropped) || err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn manifest_round_trips_through_disk_format() {
+        let dir = std::env::temp_dir().join(format!("tdc-merge-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let keys = vec!["k1".to_string(), "k2".to_string()];
+        let j = manifest_json(2, 4, 0.25, &tiny(), "fnv:abc", &keys);
+        fs::write(dir.join(MANIFEST_NAME), j.pretty()).unwrap();
+        let m = load_manifest(&dir).unwrap();
+        assert_eq!((m.shard, m.total), (2, 4));
+        assert_eq!(m.scale, 0.25);
+        assert_eq!(m.cfg, tiny());
+        assert_eq!(m.fingerprint, "fnv:abc");
+        assert_eq!(m.keys, keys);
+        // A bumped format version is refused by name.
+        let bad = match manifest_json(2, 4, 0.25, &tiny(), "fnv:abc", &keys) {
+            Json::Obj(mut pairs) => {
+                pairs[0].1 = Json::from(99u64);
+                Json::Obj(pairs)
+            }
+            _ => unreachable!(),
+        };
+        fs::write(dir.join(MANIFEST_NAME), bad.pretty()).unwrap();
+        let err = load_manifest(&dir).unwrap_err();
+        assert!(err.contains("unsupported manifest format_version 99"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -111,16 +111,6 @@ pub fn report_json(key: &str, r: &RunReport) -> Json {
     ])
 }
 
-/// FNV-1a, for short stable filename suffixes.
-fn fnv1a(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
-
 pub(crate) fn sanitize(s: &str) -> String {
     s.chars()
         .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
@@ -135,8 +125,110 @@ pub fn run_filename(key: &str, r: &RunReport) -> String {
         "{}_{}_{:08x}.json",
         sanitize(&r.workload),
         sanitize(&r.org),
-        fnv1a(key) as u32
+        tdc_util::fnv1a_64(key) as u32
     )
+}
+
+/// Parses one `runs/<cell>.json` document (the [`report_json`] format)
+/// back into its cache key and [`RunReport`] — the inverse `tdc merge`
+/// uses to rehydrate a harness cache from shard artifacts without
+/// re-simulating. `Err` names the first missing or mistyped field.
+pub fn report_from_json(doc: &Json) -> Result<(String, RunReport), String> {
+    fn f64_at(j: &Json, name: &str) -> Result<f64, String> {
+        j.get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric field '{name}'"))
+    }
+    fn u64_at(j: &Json, name: &str) -> Result<u64, String> {
+        j.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing integer field '{name}'"))
+    }
+    fn str_at<'a>(j: &'a Json, name: &str) -> Result<&'a str, String> {
+        j.get(name)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing string field '{name}'"))
+    }
+    fn obj_at<'a>(j: &'a Json, name: &str) -> Result<&'a Json, String> {
+        j.get(name).ok_or_else(|| format!("missing object '{name}'"))
+    }
+    fn dram_stats(j: &Json) -> Result<tdc_dram::DramStats, String> {
+        Ok(tdc_dram::DramStats {
+            reads: u64_at(j, "reads")?,
+            writes: u64_at(j, "writes")?,
+            row_hits: u64_at(j, "row_hits")?,
+            row_closed: u64_at(j, "row_closed")?,
+            row_conflicts: u64_at(j, "row_conflicts")?,
+            bytes_read: u64_at(j, "bytes_read")?,
+            bytes_written: u64_at(j, "bytes_written")?,
+            energy_pj: f64_at(j, "energy_pj")?,
+            bus_busy_cycles: u64_at(j, "bus_busy_cycles")?,
+        })
+    }
+
+    let key = str_at(doc, "key")?.to_string();
+    let cores = match obj_at(doc, "cores")? {
+        Json::Arr(items) => items
+            .iter()
+            .map(|c| {
+                Ok(tdc_core::CoreResult {
+                    instrs: u64_at(c, "instrs")?,
+                    cycles: u64_at(c, "cycles")?,
+                    ipc: f64_at(c, "ipc")?,
+                    l1_misses: u64_at(c, "l1_misses")?,
+                    l2_misses: u64_at(c, "l2_misses")?,
+                    tlb_penalty: u64_at(c, "tlb_penalty")?,
+                    mem_stall: u64_at(c, "mem_stall")?,
+                    refs: u64_at(c, "refs")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        _ => return Err("'cores' is not an array".into()),
+    };
+    let l3j = obj_at(doc, "l3")?;
+    let l3 = tdc_core::L3Stats {
+        demand_reads: u64_at(l3j, "demand_reads")?,
+        in_package_reads: u64_at(l3j, "in_package_reads")?,
+        demand_latency_sum: u64_at(l3j, "demand_latency_sum")?,
+        writebacks_in: u64_at(l3j, "writebacks_in")?,
+        page_fills: u64_at(l3j, "page_fills")?,
+        page_evictions: u64_at(l3j, "page_evictions")?,
+        dirty_page_writebacks: u64_at(l3j, "dirty_page_writebacks")?,
+        case_hit_hit: u64_at(l3j, "case_hit_hit")?,
+        case_hit_miss: u64_at(l3j, "case_hit_miss")?,
+        case_miss_hit: u64_at(l3j, "case_miss_hit")?,
+        case_miss_miss: u64_at(l3j, "case_miss_miss")?,
+        gipt_updates: u64_at(l3j, "gipt_updates")?,
+        tag_probes: u64_at(l3j, "tag_probes")?,
+        tag_energy_pj: f64_at(l3j, "tag_energy_pj")?,
+        stale_writebacks: u64_at(l3j, "stale_writebacks")?,
+        pu_suppressed_fills: u64_at(l3j, "pu_suppressed_fills")?,
+    };
+    let in_pkg = match obj_at(doc, "in_pkg")? {
+        Json::Null => None,
+        j => Some(dram_stats(j)?),
+    };
+    let off_pkg = dram_stats(obj_at(doc, "off_pkg")?)?;
+    let ej = obj_at(doc, "energy")?;
+    let energy = tdc_core::EnergyReport {
+        seconds: f64_at(ej, "seconds")?,
+        core_j: f64_at(ej, "core_j")?,
+        sram_j: f64_at(ej, "sram_j")?,
+        dram_j: f64_at(ej, "dram_j")?,
+        static_j: f64_at(ej, "static_j")?,
+        total_j: f64_at(ej, "total_j")?,
+        edp: f64_at(ej, "edp")?,
+    };
+    let report = RunReport {
+        org: str_at(doc, "org")?.to_string(),
+        workload: str_at(doc, "workload")?.to_string(),
+        cores,
+        l3,
+        in_pkg,
+        off_pkg,
+        energy,
+    };
+    Ok((key, report))
 }
 
 /// Serializes the run configuration (part of every artifact's

@@ -2,12 +2,14 @@
 //! regardless of `--jobs`. A job's outcome is a pure function of the
 //! job itself, so the worker count can only change wall-clock time.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::Path;
 use std::process::Command;
+use tdc_core::experiment::Job;
 use tdc_core::RunConfig;
-use tdc_harness::{generate, Harness, ALL_IDS};
+use tdc_harness::shard::{plan, shard_jobs};
+use tdc_harness::{figures, generate, Harness, ALL_IDS};
 
 fn tiny() -> RunConfig {
     RunConfig {
@@ -57,6 +59,88 @@ fn figures_share_the_cache_across_the_whole_set() {
     assert_eq!(s.requested, 235, "job enumeration changed; update this test");
     assert_eq!(s.executed, 168, "distinct-cell count changed; update this test");
     assert_eq!(s.cache_hits, s.requested - s.executed);
+}
+
+#[test]
+fn sharding_partitions_the_plan_for_every_width() {
+    // For every partition width N and every shard K: the shards are
+    // pairwise disjoint and their union is exactly the deduplicated
+    // plan — no cell lost, none duplicated, for any fleet size.
+    let cfg = tiny();
+    let full = plan(&cfg);
+    let all_keys: BTreeSet<String> = full.iter().map(Job::cache_key).collect();
+    assert_eq!(all_keys.len(), full.len(), "plan must be duplicate-free");
+    for n in 1..=8u64 {
+        let mut union = BTreeSet::new();
+        for k in 1..=n {
+            let shard: Vec<String> =
+                shard_jobs(&full, k, n).iter().map(Job::cache_key).collect();
+            for key in &shard {
+                assert!(
+                    union.insert(key.clone()),
+                    "key {key} appears in two shards of {n}"
+                );
+            }
+        }
+        assert_eq!(union, all_keys, "union of {n} shards != plan");
+    }
+}
+
+#[test]
+fn shard_membership_is_independent_of_figure_set_growth() {
+    // Hash-based partitioning's whole point: a job's shard depends
+    // only on its own key, so the assignment computed from any subset
+    // of figures agrees with the assignment computed from all of them.
+    let cfg = tiny();
+    let n = 4u64;
+    let full = plan(&cfg);
+    let full_assignment: BTreeMap<String, u64> = (1..=n)
+        .flat_map(|k| {
+            shard_jobs(&full, k, n)
+                .iter()
+                .map(move |j| (j.cache_key(), k))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for id in ALL_IDS {
+        for job in figures::jobs_for(id, &cfg).expect("known id") {
+            let key = job.cache_key();
+            let solo = shard_jobs(&[job], 1, 1);
+            assert_eq!(solo.len(), 1, "width-1 partition must keep every job");
+            let owner = (1..=n)
+                .find(|k| !shard_jobs(std::slice::from_ref(&solo[0]), *k, n).is_empty())
+                .expect("some shard owns the job");
+            assert_eq!(
+                owner, full_assignment[&key],
+                "{id}: job {key} changes shard when enumerated alone"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_figure_job_is_planned() {
+    // The plan really is the union over ALL_IDS — nothing a figure
+    // asks for is missing from it.
+    let cfg = tiny();
+    let planned: BTreeSet<String> = plan(&cfg).iter().map(Job::cache_key).collect();
+    for id in ALL_IDS {
+        for job in figures::jobs_for(id, &cfg).expect("known id") {
+            assert!(
+                planned.contains(&job.cache_key()),
+                "{id} job {} not in the plan",
+                job.cache_key()
+            );
+        }
+    }
+}
+
+#[test]
+fn plan_is_identical_across_repeated_enumerations() {
+    let cfg = tiny();
+    let a: Vec<String> = plan(&cfg).iter().map(Job::cache_key).collect();
+    let b: Vec<String> = plan(&cfg).iter().map(Job::cache_key).collect();
+    assert_eq!(a, b);
 }
 
 fn read_tree(dir: &Path) -> BTreeMap<String, Vec<u8>> {

@@ -1,0 +1,221 @@
+//! End-to-end contract of `tdc shard` / `tdc merge`:
+//!
+//! * splitting the evaluation across shards and merging them back
+//!   reproduces a direct `tdc all` **byte-for-byte** (`metrics.json`
+//!   excepted — that artifact is deliberately machine-local);
+//! * shard manifests are independent of `--jobs`;
+//! * every merge validation failure exits non-zero with its own
+//!   message, golden-filed under `tests/golden/` (regenerate with
+//!   `TDC_UPDATE_GOLDEN=1 cargo test -p tdc-harness --test shard_merge`).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use tdc_core::experiment::Job;
+use tdc_core::RunConfig;
+use tdc_harness::shard::{manifest_json, plan, shard_jobs, MANIFEST_NAME};
+use tdc_util::Json;
+
+fn tiny() -> RunConfig {
+    RunConfig {
+        seed: 2015,
+        cache_bytes: 1 << 30,
+        warmup_refs: 1_000,
+        measured_refs: 2_000,
+    }
+}
+
+fn tdc(args: &[&str], cwd: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_tdc"))
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("tdc runs")
+}
+
+fn read_tree(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d).expect("readable dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path
+                    .strip_prefix(dir)
+                    .expect("under root")
+                    .to_string_lossy()
+                    .into_owned();
+                files.insert(rel, fs::read(&path).expect("readable file"));
+            }
+        }
+    }
+    files
+}
+
+#[test]
+fn two_way_shard_then_merge_matches_direct_all_byte_for_byte() {
+    let base = std::env::temp_dir().join(format!("tdc-shard-merge-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+    fs::create_dir_all(&base).expect("temp dir");
+    let scale = "0.001";
+
+    let direct = tdc(&["all", "--scale", scale, "--quiet", "--out", "direct"], &base);
+    assert!(direct.status.success(), "tdc all failed");
+    for (spec, out, jobs) in [("1/2", "s1", "2"), ("2/2", "s2", "3")] {
+        let run = tdc(
+            &["shard", spec, "--scale", scale, "--jobs", jobs, "--quiet", "--out", out],
+            &base,
+        );
+        assert!(run.status.success(), "tdc shard {spec} failed");
+    }
+    let merge = tdc(&["merge", "s1", "s2", "--quiet", "--out", "merged"], &base);
+    assert!(
+        merge.status.success(),
+        "tdc merge failed: {}",
+        String::from_utf8_lossy(&merge.stderr)
+    );
+
+    let want = read_tree(&base.join("direct"));
+    let got = read_tree(&base.join("merged"));
+    assert!(!want.is_empty(), "no artifacts written");
+    assert_eq!(
+        want.keys().collect::<Vec<_>>(),
+        got.keys().collect::<Vec<_>>(),
+        "merged artifact set differs from direct tdc all"
+    );
+    for (name, bytes) in &want {
+        if name == "metrics.json" {
+            continue; // the one deliberately non-deterministic artifact
+        }
+        assert_eq!(bytes, &got[name], "results/{name} differs after shard+merge");
+    }
+    assert!(got.contains_key("metrics.json"), "merge must write metrics.json");
+
+    // Shard runs with different worker counts must emit byte-identical
+    // shard trees: partitioning and artifacts never depend on --jobs.
+    let rerun = tdc(
+        &["shard", "1/2", "--scale", scale, "--jobs", "1", "--quiet", "--out", "s1-again"],
+        &base,
+    );
+    assert!(rerun.status.success(), "tdc shard rerun failed");
+    assert_eq!(
+        read_tree(&base.join("s1")),
+        read_tree(&base.join("s1-again")),
+        "shard output depends on --jobs or is unstable across runs"
+    );
+    let _ = fs::remove_dir_all(&base);
+}
+
+/// Writes a fabricated (but schema-correct) shard manifest; negative
+/// merges fail validation before ever touching `runs/`, so no
+/// simulation is needed.
+fn write_manifest(dir: &Path, shard: u64, total: u64, scale: f64, keys: &[String]) {
+    fs::create_dir_all(dir).expect("shard dir");
+    let j = manifest_json(shard, total, scale, &tiny(), "none", keys);
+    fs::write(dir.join(MANIFEST_NAME), j.pretty()).expect("manifest written");
+}
+
+fn keys_of(shard: u64, total: u64) -> Vec<String> {
+    let cfg = tiny();
+    shard_jobs(&plan(&cfg), shard, total)
+        .iter()
+        .map(Job::cache_key)
+        .collect()
+}
+
+/// Runs `tdc merge` on `dirs` inside `base`, asserts it fails, and
+/// compares its stderr (with the temp path normalized to `<TMP>`)
+/// against `tests/golden/<name>.txt`.
+fn golden_merge_failure(base: &Path, dirs: &[&str], name: &str) {
+    let mut args = vec!["merge"];
+    args.extend(dirs);
+    args.extend(["--out", "merged"]);
+    let out = tdc(&args, base);
+    assert!(
+        !out.status.success(),
+        "{name}: merge unexpectedly succeeded"
+    );
+    assert_ne!(out.status.code(), Some(2), "{name}: usage error, not validation");
+    let stderr = String::from_utf8_lossy(&out.stderr)
+        .replace(&base.display().to_string(), "<TMP>")
+        .replace('\\', "/");
+    let rendered = format!("exit: {}\n{stderr}", out.status.code().unwrap_or(-1));
+
+    let golden = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"));
+    if std::env::var("TDC_UPDATE_GOLDEN").is_ok() {
+        fs::create_dir_all(golden.parent().expect("parent")).expect("golden dir");
+        fs::write(&golden, &rendered).expect("golden written");
+        return;
+    }
+    let want = fs::read_to_string(&golden)
+        .unwrap_or_else(|e| panic!("cannot read {} (set TDC_UPDATE_GOLDEN=1 to create): {e}", golden.display()));
+    assert_eq!(
+        rendered, want,
+        "{name}: merge error output drifted from {} (TDC_UPDATE_GOLDEN=1 regenerates)",
+        golden.display()
+    );
+}
+
+#[test]
+fn merge_rejects_each_invalid_shard_set_with_a_distinct_golden_message() {
+    let base = std::env::temp_dir().join(format!("tdc-merge-neg-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+    fs::create_dir_all(&base).expect("temp dir");
+    let (k1, k2) = (keys_of(1, 2), keys_of(2, 2));
+
+    // A valid 2-way split, plus one broken variant per failure mode.
+    write_manifest(&base.join("s1"), 1, 2, 0.001, &k1);
+    write_manifest(&base.join("s2"), 2, 2, 0.001, &k2);
+    // Overlap: claims shard 2's id but ships shard 1's keys.
+    write_manifest(&base.join("s1-as-2"), 2, 2, 0.001, &k1);
+    // Scale mismatch.
+    write_manifest(&base.join("s2-rescaled"), 2, 2, 0.5, &k2);
+    // Unsupported manifest version.
+    let vdir = base.join("s1-v99");
+    write_manifest(&vdir, 1, 2, 0.001, &k1);
+    let text = fs::read_to_string(vdir.join(MANIFEST_NAME)).expect("manifest readable");
+    let doc = Json::parse(&text).expect("manifest parses");
+    let bumped = match doc {
+        Json::Obj(mut pairs) => {
+            for (k, v) in &mut pairs {
+                if k == "format_version" {
+                    *v = Json::from(99u64);
+                }
+            }
+            Json::Obj(pairs)
+        }
+        other => panic!("manifest is not an object: {other:?}"),
+    };
+    fs::write(vdir.join(MANIFEST_NAME), bumped.pretty()).expect("manifest rewritten");
+
+    golden_merge_failure(&base, &["s1"], "merge_missing_shard");
+    golden_merge_failure(&base, &["s1", "s1-as-2"], "merge_overlapping_shards");
+    golden_merge_failure(&base, &["s1", "s2-rescaled"], "merge_scale_mismatch");
+    golden_merge_failure(&base, &["s1-v99", "s2"], "merge_bad_manifest_version");
+
+    // Distinctness is the point: a fleet script must be able to tell
+    // the failure modes apart. No two golden messages may collide.
+    let golden_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut bodies = Vec::new();
+    for name in [
+        "merge_missing_shard",
+        "merge_overlapping_shards",
+        "merge_scale_mismatch",
+        "merge_bad_manifest_version",
+    ] {
+        bodies.push(
+            fs::read_to_string(golden_dir.join(format!("{name}.txt"))).expect("golden exists"),
+        );
+    }
+    for i in 0..bodies.len() {
+        for j in i + 1..bodies.len() {
+            assert_ne!(bodies[i], bodies[j], "golden messages {i} and {j} are identical");
+        }
+    }
+    let _ = fs::remove_dir_all(&base);
+}

@@ -22,7 +22,8 @@
 
 use crate::lexer::{scan, ScannedFile};
 use crate::rules::{
-    design_constants, figure_baselines, line_rules, probe_coverage, RawFinding, RULES,
+    design_constants, figure_baselines, line_rules, manifest_schema, probe_coverage, RawFinding,
+    RULES,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -343,7 +344,9 @@ pub fn run(cfg: &Config) -> io::Result<LintReport> {
     raw.extend(figure_baselines(&files, &cfg.root));
     let design_md = cfg.root.join("DESIGN.md");
     if design_md.is_file() {
-        raw.extend(design_constants(&files, &fs::read_to_string(&design_md)?));
+        let design_text = fs::read_to_string(&design_md)?;
+        raw.extend(design_constants(&files, &design_text));
+        raw.extend(manifest_schema(&files, &design_text));
     }
     raw.sort();
 

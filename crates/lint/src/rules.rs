@@ -23,7 +23,7 @@ pub struct RawFinding {
 }
 
 /// `(id, summary)` for every rule, in report order.
-pub const RULES: [(&str, &str); 7] = [
+pub const RULES: [(&str, &str); 8] = [
     (
         "hash-collections",
         "HashMap/HashSet in library code: iteration order is nondeterministic and can leak into artifacts",
@@ -51,6 +51,10 @@ pub const RULES: [(&str, &str); 7] = [
     (
         "design-constants",
         "every DRAM timing constant referenced in DESIGN.md (tXXX) must exist in tdc-dram",
+    ),
+    (
+        "manifest-schema",
+        "the shard-manifest.json schema documented in DESIGN.md must match harness::shard::MANIFEST_FIELDS/MANIFEST_VERSION",
     ),
 ];
 
@@ -375,6 +379,152 @@ pub fn design_constants(
         .collect()
 }
 
+/// The `shard-manifest.json` schema has two sources of truth — the
+/// `MANIFEST_FIELDS`/`MANIFEST_VERSION` constants in
+/// `crates/harness/src/shard.rs` and the prose in DESIGN.md — and they
+/// must agree in both directions: every documented field exists in
+/// code, every code field is documented, and the documented
+/// `format_version` matches the constant.
+///
+/// The documented block is anchored by the first DESIGN.md line
+/// containing `shard-manifest.json`; that line carries
+/// `format_version N`, and the backtick-quoted names on it and the
+/// following lines (up to the first blank line) are the documented
+/// fields.
+pub fn manifest_schema(
+    files: &BTreeMap<String, ScannedFile>,
+    design_md: &str,
+) -> Vec<RawFinding> {
+    const SHARD: &str = "crates/harness/src/shard.rs";
+    let Some(shard) = files.get(SHARD) else {
+        return Vec::new();
+    };
+    let Some((code_fields, code_version)) = manifest_constants(shard) else {
+        return Vec::new();
+    };
+
+    let anchor = design_md
+        .lines()
+        .position(|l| l.contains("shard-manifest.json"));
+    let Some(anchor) = anchor else {
+        return vec![RawFinding {
+            file: "DESIGN.md".to_string(),
+            line: 1,
+            rule: "manifest-schema",
+            message: format!(
+                "harness::shard defines the shard-manifest.json schema \
+                 ({} fields) but DESIGN.md never documents it",
+                code_fields.len()
+            ),
+        }];
+    };
+    let hit = |message: String| RawFinding {
+        file: "DESIGN.md".to_string(),
+        line: anchor + 1,
+        rule: "manifest-schema",
+        message,
+    };
+    let mut out = Vec::new();
+
+    let lines: Vec<&str> = design_md.lines().collect();
+    let anchor_line = lines[anchor];
+    match trailing_number(anchor_line, "format_version") {
+        Some(v) if v == code_version => {}
+        Some(v) => out.push(hit(format!(
+            "DESIGN.md documents shard-manifest format_version {v} but \
+             MANIFEST_VERSION is {code_version}"
+        ))),
+        None => out.push(hit(
+            "the shard-manifest.json line must state `format_version N`".to_string(),
+        )),
+    }
+
+    let mut doc_fields: Vec<String> = Vec::new();
+    for line in lines.iter().skip(anchor).take_while(|l| !l.trim().is_empty()) {
+        doc_fields.extend(
+            backticked(line)
+                .into_iter()
+                .filter(|t| *t != "shard-manifest.json")
+                .map(str::to_string),
+        );
+    }
+    for field in &doc_fields {
+        if !code_fields.contains(field) {
+            out.push(hit(format!(
+                "DESIGN.md documents manifest field `{field}` but \
+                 MANIFEST_FIELDS does not include it"
+            )));
+        }
+    }
+    for field in &code_fields {
+        if !doc_fields.contains(field) {
+            out.push(hit(format!(
+                "MANIFEST_FIELDS includes `{field}` but DESIGN.md's \
+                 shard-manifest.json schema does not document it"
+            )));
+        }
+    }
+    out
+}
+
+/// Extracts `(MANIFEST_FIELDS entries, MANIFEST_VERSION)` from the
+/// scanned shard module. `None` when either constant is absent.
+fn manifest_constants(shard: &ScannedFile) -> Option<(Vec<String>, u64)> {
+    let mut fields: Option<Vec<String>> = None;
+    let mut version: Option<u64> = None;
+    let mut in_fields = false;
+    for (idx, line) in shard.lines.iter().enumerate() {
+        if shard.is_test_code(idx) {
+            break;
+        }
+        if version.is_none()
+            && line.code.contains("const MANIFEST_VERSION")
+            && line.code.contains('=')
+        {
+            version = trailing_number(&line.code, "=");
+        }
+        // Anchor on the declaration, not later mentions of the name.
+        if fields.is_none() && line.code.contains("const MANIFEST_FIELDS") {
+            in_fields = true;
+            fields = Some(Vec::new());
+        }
+        if in_fields {
+            // Strings are blanked in `code`; read names from `raw`.
+            if let Some(f) = fields.as_mut() {
+                f.extend(quoted_strings(&line.raw).into_iter().map(str::to_string));
+            }
+            if line.code.contains("];") {
+                in_fields = false;
+            }
+        }
+    }
+    Some((fields?, version?))
+}
+
+/// The first unsigned integer after the last occurrence of `after` in
+/// `line`.
+fn trailing_number(line: &str, after: &str) -> Option<u64> {
+    let pos = line.rfind(after)?;
+    let rest = &line[pos + after.len()..];
+    let digits: String = rest
+        .chars()
+        .skip_while(|c| !c.is_ascii_digit())
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Backtick-quoted tokens on one line: `` `name` `` pieces.
+fn backticked(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut parts = line.split('`');
+    parts.next();
+    while let (Some(inside), Some(_)) = (parts.next(), parts.next()) {
+        out.push(inside);
+    }
+    out
+}
+
 /// DRAM timing tokens on one line: `t` followed by 2-4 uppercase
 /// letters, word-bounded (tRCD, tAA, tRAS, tRP, tCCD, ...).
 fn timing_tokens(line: &str) -> Vec<String> {
@@ -490,6 +640,63 @@ mod tests {
             vec!["tCCD".to_string(), "tAA".to_string()]
         );
         assert!(timing_tokens("instant").is_empty());
+    }
+
+    fn shard_src(fields: &[&str], version: u64) -> String {
+        let list = fields
+            .iter()
+            .map(|f| format!("    \"{f}\","))
+            .collect::<Vec<_>>()
+            .join("\n");
+        format!(
+            "pub const MANIFEST_VERSION: u64 = {version};\n\
+             pub const MANIFEST_FIELDS: [&str; {}] = [\n{list}\n];\n",
+            fields.len()
+        )
+    }
+
+    fn shard_files(fields: &[&str], version: u64) -> BTreeMap<String, ScannedFile> {
+        let mut files = BTreeMap::new();
+        files.insert(
+            "crates/harness/src/shard.rs".to_string(),
+            scan(&shard_src(fields, version)),
+        );
+        files
+    }
+
+    #[test]
+    fn manifest_schema_passes_when_doc_and_code_agree() {
+        let files = shard_files(&["format_version", "shard"], 1);
+        let doc = "## Manifest\n\n\
+                   `shard-manifest.json` (format_version 1) carries\n\
+                   `format_version` and `shard`.\n\n more prose";
+        assert!(manifest_schema(&files, doc).is_empty());
+    }
+
+    #[test]
+    fn manifest_schema_flags_both_directions_and_version_drift() {
+        let files = shard_files(&["format_version", "shard"], 2);
+        // Documents a bogus field, omits `shard`, and claims version 1.
+        let doc = "`shard-manifest.json` (format_version 1) carries\n\
+                   `format_version` and `bogus_field`.\n";
+        let hits = manifest_schema(&files, doc);
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        assert!(hits.iter().all(|h| h.rule == "manifest-schema" && h.file == "DESIGN.md"));
+        assert!(hits.iter().any(|h| h.message.contains("format_version 1")
+            && h.message.contains("MANIFEST_VERSION is 2")));
+        assert!(hits.iter().any(|h| h.message.contains("`bogus_field`")));
+        assert!(hits.iter().any(|h| h.message.contains("`shard`")
+            && h.message.contains("does not document")));
+    }
+
+    #[test]
+    fn manifest_schema_requires_documentation_when_code_exists() {
+        let files = shard_files(&["format_version"], 1);
+        let hits = manifest_schema(&files, "# DESIGN\n\nno schema here\n");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("never documents"));
+        // Without the shard module there is nothing to check.
+        assert!(manifest_schema(&BTreeMap::new(), "anything").is_empty());
     }
 
     #[test]

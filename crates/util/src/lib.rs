@@ -10,7 +10,11 @@
 //! * [`dist`] — the distributions the workload generators need (uniform,
 //!   Zipf, geometric, Bernoulli, weighted choice).
 //! * [`stats`] — streaming statistics (mean/variance via Welford),
-//!   histograms, and geometric means used by the experiment reports.
+//!   histograms, geometric means, and the bench-timing stability
+//!   predicate used by the experiment reports.
+//! * [`hash`] — stable FNV-1a string hashing ([`fnv1a_64`]) and the
+//!   hash-based shard assignment ([`shard_of`]) behind `tdc shard`;
+//!   stability across processes and releases is part of the contract.
 //! * [`json`] — a dependency-free JSON value type with a deterministic
 //!   writer and strict parser, used by the experiment harness for its
 //!   `results/*.json` artifacts.
@@ -35,6 +39,7 @@
 //! ```
 
 pub mod dist;
+pub mod hash;
 pub mod json;
 pub mod mem;
 pub mod pool;
@@ -43,6 +48,7 @@ pub mod rng;
 pub mod stats;
 
 pub use dist::{Bernoulli, Geometric, Uniform, WeightedIndex, Zipf};
+pub use hash::{fnv1a_64, shard_of};
 pub use json::{Json, JsonError};
 pub use mem::{CAddr, Cpn, Cycle, PAddr, Ppn, VAddr, Vpn};
 pub use mem::{BLOCKS_PER_PAGE, BLOCK_SHIFT, BLOCK_SIZE, PAGE_SHIFT, PAGE_SIZE};

@@ -212,6 +212,40 @@ pub fn geomean(values: &[f64]) -> f64 {
     (log_sum / values.len() as f64).exp()
 }
 
+/// Median of `values` (lower-middle element for even lengths); 0 when
+/// empty. Order of the input does not matter.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut s = values.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("median requires comparable values"));
+    s[(s.len() - 1) / 2]
+}
+
+/// The repeat-until-stable predicate for micro-benchmark timing loops.
+///
+/// `runs` is the sequence of per-run measurements in execution order.
+/// The sequence counts as **stable** once the medians of the two most
+/// recent sliding windows of `window` runs (`runs[n-window-1..n-1]` and
+/// `runs[n-window..n]`) agree within relative tolerance `tol`: adding
+/// the latest run no longer moves the windowed median by more than
+/// `tol`. Needs at least `window + 1` runs; fewer is never stable.
+///
+/// The bench harness uses `window = 3`, `tol = 0.02` — "stop when
+/// median-of-3 windows agree within 2%".
+pub fn median_window_stable(runs: &[f64], window: usize, tol: f64) -> bool {
+    let window = window.max(1);
+    let n = runs.len();
+    if n < window + 1 {
+        return false;
+    }
+    let prev = median(&runs[n - window - 1..n - 1]);
+    let last = median(&runs[n - window..n]);
+    let scale = prev.abs().max(last.abs());
+    (prev - last).abs() <= tol * scale
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,5 +336,56 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn geomean_rejects_nonpositive() {
         let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn median_basics() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        // Even length: lower-middle, matching the bench convention.
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn stability_needs_enough_runs() {
+        // Canned sequence: perfectly flat, but the predicate cannot
+        // compare two windows until window+1 runs exist.
+        assert!(!median_window_stable(&[], 3, 0.02));
+        assert!(!median_window_stable(&[100.0, 100.0, 100.0], 3, 0.02));
+        assert!(median_window_stable(&[100.0, 100.0, 100.0, 100.0], 3, 0.02));
+    }
+
+    #[test]
+    fn stability_converges_on_a_settling_sequence() {
+        // Two warmup spikes that settle to steady ~100 ns/op. While a
+        // spike still dominates a window the medians disagree; once
+        // three post-spike runs are in, the loop may stop.
+        let runs = [400.0, 390.0, 101.0, 99.0, 100.0];
+        assert!(!median_window_stable(&runs[..4], 3, 0.02)); // 390 vs 101
+        assert!(median_window_stable(&runs, 3, 0.02)); // 101 vs 100
+    }
+
+    #[test]
+    fn stability_rejects_a_drifting_sequence() {
+        // Monotone drift of >2% per run never stabilizes.
+        let drifting: Vec<f64> = (0..10).map(|i| 100.0 * 1.05f64.powi(i)).collect();
+        for n in 4..=drifting.len() {
+            assert!(
+                !median_window_stable(&drifting[..n], 3, 0.02),
+                "drifting sequence reported stable at n={n}"
+            );
+        }
+        // The same shape within tolerance (0.1% steps) is stable.
+        let settled: Vec<f64> = (0..10).map(|i| 100.0 * 1.001f64.powi(i)).collect();
+        assert!(median_window_stable(&settled, 3, 0.02));
+    }
+
+    #[test]
+    fn stability_tolerance_is_relative() {
+        // 1000 -> 1015 is 1.5%: inside a 2% gate, outside a 1% gate.
+        let runs = [1000.0, 1000.0, 1000.0, 1015.0, 1015.0, 1015.0];
+        assert!(median_window_stable(&runs[..5], 3, 0.02));
+        assert!(!median_window_stable(&[1000.0, 1000.0, 1000.0, 1015.0, 1015.0], 3, 0.01));
     }
 }

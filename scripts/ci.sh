@@ -35,5 +35,14 @@ echo "== smoke: tdc trace (probed run, Perfetto export) =="
 test -s "$out/runs/mcf_ctlb.timeseries.json" || { echo "trace wrote no timeseries" >&2; exit 1; }
 test -s "$out/trace/mcf_ctlb.trace.json" || { echo "trace wrote no trace.json" >&2; exit 1; }
 
+echo "== smoke: 2-way shard + merge + diff gate at 25% scale =="
+./target/release/tdc shard 1/2 --scale 0.25 --jobs 2 --quiet --out "$out/s1"
+./target/release/tdc shard 2/2 --scale 0.25 --jobs 2 --quiet --out "$out/s2"
+test -s "$out/s1/shard-manifest.json" || { echo "shard 1 wrote no manifest" >&2; exit 1; }
+test -s "$out/s2/shard-manifest.json" || { echo "shard 2 wrote no manifest" >&2; exit 1; }
+./target/release/tdc merge "$out/s1" "$out/s2" --quiet --out "$out/merged" \
+    --diff baselines/scale-0.25
+test -s "$out/merged/index.json" || { echo "merge wrote no index.json" >&2; exit 1; }
+
 echo "== regression: tdc diff vs baselines/scale-0.25 =="
 ./target/release/tdc diff baselines/scale-0.25 --jobs 2 --quiet
