@@ -3,26 +3,23 @@
 //! access path, DRAM controller throughput, replacement machinery,
 //! trace generation).
 //!
-//! Run with `cargo bench -p tdc-bench --bench micro`. Each benchmark is
-//! timed with `std::time::Instant` over a fixed iteration budget (no
-//! external benchmarking crate; the container builds offline) and
-//! **repeated until stable**: after a minimum of `TDC_BENCH_RUNS`
-//! timed runs (default 3), runs continue until the medians of the two
-//! most recent 3-run windows agree within 2%
-//! (`tdc_util::stats::median_window_stable`) or `TDC_BENCH_MAX_RUNS`
-//! (default 10) is hit — so a machine with a noisy scheduler buys
-//! itself more repetitions instead of publishing a skewed number.
-//! Reported as the **median** ns/op across runs. The full table is
-//! also written to `results/bench.json` (directory override:
-//! `TDC_BENCH_OUT`).
+//! Run with `cargo bench -p tdc-bench --bench micro`. This binary is a
+//! thin front end over the shared kernel registry in
+//! [`tdc_harness::kernels`] — the same kernels, iteration budgets, and
+//! repeat-until-stable timing loop that `tdc bench run` uses for the
+//! commit-stamped history (see BENCHMARKS.md), so the two report
+//! comparable numbers. Reported as the **median** ns/op across runs;
+//! the full table is also written to `results/bench.json` (directory
+//! override: `TDC_BENCH_OUT`).
+//!
+//! Timing knobs (env): `TDC_BENCH_RUNS` (minimum runs, default 3),
+//! `TDC_BENCH_MAX_RUNS` (cap when timings refuse to settle, default
+//! 10), `TDC_BENCH_ITERS_SCALE` (iteration-budget multiplier).
 
-use std::hint::black_box;
-use std::time::Instant;
-use tdc_dram::{AccessKind, DramConfig, DramController};
-use tdc_dram_cache::{L3System, SramTagCache, SystemParams, TaglessCache, VictimPolicy};
-use tdc_sram_cache::{CacheGeometry, Replacement, SetAssocCache};
-use tdc_trace::{profiles, SyntheticWorkload, TraceSource};
-use tdc_util::{Json, Pcg32, Rng, Vpn, Zipf};
+use tdc_harness::kernels::{
+    effective_iters, measure, micro_kernels, Kernel, Timing, STABLE_TOLERANCE, STABLE_WINDOW,
+};
+use tdc_util::Json;
 
 /// One benchmark's aggregated timing across repeated runs.
 struct BenchRecord {
@@ -33,24 +30,16 @@ struct BenchRecord {
 }
 
 impl BenchRecord {
-    fn sorted(&self) -> Vec<f64> {
-        let mut s = self.runs.clone();
-        s.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-        s
-    }
-
-    /// Median ns/op (lower-middle for even run counts).
     fn median(&self) -> f64 {
-        let s = self.sorted();
-        s[(s.len() - 1) / 2]
+        tdc_util::stats::median(&self.runs)
     }
 
     fn min(&self) -> f64 {
-        self.sorted()[0]
+        self.runs.iter().copied().fold(f64::INFINITY, f64::min)
     }
 
     fn max(&self) -> f64 {
-        *self.sorted().last().expect("at least one run")
+        self.runs.iter().copied().fold(0.0, f64::max)
     }
 
     fn json(&self) -> Json {
@@ -66,202 +55,36 @@ impl BenchRecord {
     }
 }
 
-/// Minimum timed repetitions each benchmark gets.
-fn bench_runs() -> usize {
-    std::env::var("TDC_BENCH_RUNS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(3)
-}
-
-/// Hard cap on repetitions when the timings refuse to settle.
-fn bench_max_runs() -> usize {
-    std::env::var("TDC_BENCH_MAX_RUNS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(10)
-        .max(bench_runs())
-}
-
-/// The stability contract: medians of the two most recent
-/// [`STABLE_WINDOW`]-run windows within [`STABLE_TOLERANCE`] of each
-/// other (relative).
-const STABLE_WINDOW: usize = 3;
-const STABLE_TOLERANCE: f64 = 0.02;
-
-/// Times `iters` calls of `f` per run after one 1/10 warmup pass,
-/// repeating until [`tdc_util::stats::median_window_stable`] says the
-/// timing has settled (or the run cap is hit); prints median
-/// (min..max) ns/op and records the result.
-fn bench<T>(
-    out: &mut Vec<BenchRecord>,
-    group: &'static str,
-    name: &'static str,
-    iters: u64,
-    mut f: impl FnMut() -> T,
-) {
-    for _ in 0..iters / 10 {
-        black_box(f());
-    }
-    let (min_runs, max_runs) = (bench_runs(), bench_max_runs());
-    let mut runs = Vec::new();
-    loop {
-        let start = Instant::now();
-        for _ in 0..iters {
-            black_box(f());
-        }
-        runs.push(start.elapsed().as_nanos() as f64 / iters as f64);
-        if runs.len() >= max_runs
-            || (runs.len() >= min_runs
-                && tdc_util::stats::median_window_stable(&runs, STABLE_WINDOW, STABLE_TOLERANCE))
-        {
-            break;
-        }
-    }
-    let stable =
-        tdc_util::stats::median_window_stable(&runs, STABLE_WINDOW, STABLE_TOLERANCE);
-    let rec = BenchRecord { group, name, iters, runs };
+/// Times one registry kernel and prints the historical table line.
+fn bench(out: &mut Vec<BenchRecord>, kernel: &Kernel, timing: &Timing) {
+    let runs = measure(kernel, timing);
+    let stable = timing.is_stable(&runs);
+    let rec = BenchRecord {
+        group: kernel.group,
+        name: kernel.name,
+        iters: effective_iters(kernel.iters),
+        runs,
+    };
     println!(
         "{:<28} {:>12.1} ns/op   (median of {}{}, min {:.1} max {:.1}, {} iters/run)",
-        name,
+        rec.name,
         rec.median(),
         rec.runs.len(),
         if stable { "" } else { ", UNSTABLE" },
         rec.min(),
         rec.max(),
-        iters
+        rec.iters
     );
     out.push(rec);
 }
 
-fn small_params() -> SystemParams {
-    let mut p = SystemParams::with_cache_capacity(64 << 20);
-    p.cores = 1;
-    p.core_asid = vec![0];
-    p
-}
-
-fn bench_dram_controller(out: &mut Vec<BenchRecord>) {
-    println!("-- dram_controller --");
-    let group = "dram_controller";
-    {
-        let mut m = DramController::new(DramConfig::in_package_1gb());
-        let mut now = 0u64;
-        let mut addr = 0u64;
-        bench(out, group, "block_read_row_hits", 2_000_000, || {
-            let r = m.access(now, addr % (1 << 28), AccessKind::Read, 64);
-            now = r.first_data;
-            addr += 64;
-            r.first_data
-        });
-    }
-    {
-        let mut m = DramController::new(DramConfig::off_package_8gb());
-        let mut rng = Pcg32::seed_from_u64(1);
-        let mut now = 0u64;
-        bench(out, group, "block_read_random", 2_000_000, || {
-            let r = m.access(now, rng.gen_range(1 << 33), AccessKind::Read, 64);
-            now = r.first_data;
-            r.first_data
-        });
-    }
-    {
-        let mut m = DramController::new(DramConfig::off_package_8gb());
-        let mut rng = Pcg32::seed_from_u64(2);
-        let mut now = 0u64;
-        bench(out, group, "page_fill_4kb", 500_000, || {
-            let r = m.access(now, rng.gen_range(1 << 33) & !4095, AccessKind::Read, 4096);
-            now = r.first_data;
-            r.done
-        });
-    }
-}
-
-fn bench_access_paths(out: &mut Vec<BenchRecord>) {
-    println!("-- access_path --");
-    let group = "access_path";
-    // The headline comparison: cost of one translate+access on the
-    // tagless path vs the SRAM-tag path, warm state.
-    {
-        let p = small_params();
-        let mut l3 = TaglessCache::new(&p, VictimPolicy::Fifo);
-        for v in 0..16u64 {
-            l3.translate(v * 10_000, 0, Vpn(v), false);
-        }
-        let mut now = 1_000_000u64;
-        let mut v = 0u64;
-        bench(out, group, "tagless_warm_hit", 1_000_000, || {
-            let tr = l3.translate(now, 0, Vpn(v % 16), false);
-            let m = l3.access(now + tr.penalty, 0, tr.frame, tr.nc, v % 64);
-            now += 200;
-            v += 1;
-            m.latency
-        });
-    }
-    {
-        let p = small_params();
-        let mut l3 = SramTagCache::new(&p);
-        for v in 0..16u64 {
-            let tr = l3.translate(v * 10_000, 0, Vpn(v), false);
-            l3.access(v * 10_000 + tr.penalty, 0, tr.frame, tr.nc, 0);
-        }
-        let mut now = 1_000_000u64;
-        let mut v = 0u64;
-        bench(out, group, "sram_tag_warm_hit", 1_000_000, || {
-            let tr = l3.translate(now, 0, Vpn(v % 16), false);
-            let m = l3.access(now + tr.penalty, 0, tr.frame, tr.nc, v % 64);
-            now += 200;
-            v += 1;
-            m.latency
-        });
-    }
-    {
-        let p = small_params();
-        let mut l3 = TaglessCache::new(&p, VictimPolicy::Fifo);
-        let mut now = 0u64;
-        let mut v = 0u64;
-        bench(out, group, "tagless_cold_fill", 200_000, || {
-            let tr = l3.translate(now, 0, Vpn(v), false);
-            now += tr.penalty + 100;
-            v += 1;
-            tr.penalty
-        });
-    }
-}
-
-fn bench_sram_cache(out: &mut Vec<BenchRecord>) {
-    println!("-- set_assoc_cache --");
-    for (name, repl) in [("lru", Replacement::Lru), ("fifo", Replacement::Fifo)] {
-        let geom = CacheGeometry::new(2 << 20, 64, 16).expect("valid");
-        let mut cache = SetAssocCache::new(geom, repl);
-        let mut rng = Pcg32::seed_from_u64(3);
-        bench(out, "set_assoc_cache", name, 2_000_000, || {
-            let r = cache.access(rng.gen_range(16 << 20), false);
-            r.hit
-        });
-    }
-}
-
-fn bench_trace_generation(out: &mut Vec<BenchRecord>) {
-    println!("-- trace_gen --");
-    for name in ["mcf", "libquantum"] {
-        let mut w = SyntheticWorkload::new(profiles::spec(name).expect("known").clone(), 7, 0);
-        bench(out, "trace_gen", name, 2_000_000, || w.next_ref());
-    }
-    let z = Zipf::new(1 << 20, 0.95).expect("valid");
-    let mut rng = Pcg32::seed_from_u64(5);
-    bench(out, "trace_gen", "zipf_sample", 2_000_000, || z.sample(&mut rng));
-}
-
 /// Writes the full result table to `<TDC_BENCH_OUT|results>/bench.json`.
-fn write_json(records: &[BenchRecord]) {
+fn write_json(timing: &Timing, records: &[BenchRecord]) {
     let dir = std::env::var("TDC_BENCH_OUT").unwrap_or_else(|_| "results".into());
     let dir = std::path::Path::new(&dir);
     let doc = Json::obj([
-        ("min_runs", Json::from(bench_runs() as u64)),
-        ("max_runs", Json::from(bench_max_runs() as u64)),
+        ("min_runs", Json::from(timing.min_runs as u64)),
+        ("max_runs", Json::from(timing.max_runs as u64)),
         ("stable_window", Json::from(STABLE_WINDOW as u64)),
         ("stable_tolerance", Json::from(STABLE_TOLERANCE)),
         (
@@ -277,18 +100,23 @@ fn write_json(records: &[BenchRecord]) {
 }
 
 fn main() {
+    let timing = Timing::from_env();
     println!(
         "tagless-dram-cache microbenches (std::time, repeat-until-stable: \
          {}..{} runs, {}-run medians within {}%)",
-        bench_runs(),
-        bench_max_runs(),
+        timing.min_runs,
+        timing.max_runs,
         STABLE_WINDOW,
         STABLE_TOLERANCE * 100.0
     );
     let mut records = Vec::new();
-    bench_dram_controller(&mut records);
-    bench_access_paths(&mut records);
-    bench_sram_cache(&mut records);
-    bench_trace_generation(&mut records);
-    write_json(&records);
+    let mut last_group = "";
+    for kernel in micro_kernels() {
+        if kernel.group != last_group {
+            println!("-- {} --", kernel.group);
+            last_group = kernel.group;
+        }
+        bench(&mut records, &kernel, &timing);
+    }
+    write_json(&timing, &records);
 }

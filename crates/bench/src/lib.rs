@@ -13,6 +13,10 @@
 //! Run length is controlled by the `TDC_SCALE` environment variable
 //! (default 1.0 = the full configuration; e.g. `TDC_SCALE=0.1` for a
 //! quick pass), or the `tdc --scale` flag.
+//!
+//! The figure-to-harness mapping is DESIGN.md §5 (experiment index);
+//! the micro-bench front end (`benches/micro.rs`) is documented in
+//! DESIGN.md §11 and BENCHMARKS.md.
 
 use tdc_core::experiment::RunConfig;
 use tdc_core::RunReport;

@@ -3,7 +3,8 @@
 //!
 //! This crate plays the role McSimA+ plays in the paper: it puts cores,
 //! on-die caches, TLBs, and a DRAM cache organization together and runs
-//! workload traces through them.
+//! workload traces through them (substitution rationale: DESIGN.md §2;
+//! the experiment-to-figure mapping: DESIGN.md §5).
 //!
 //! * [`core_model`] — the 4-wide core timing model with bounded
 //!   memory-level parallelism.

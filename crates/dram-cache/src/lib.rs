@@ -2,8 +2,9 @@
 //!
 //! Everything below the on-die L1/L2 caches lives here: address
 //! translation (TLBs + page tables + walker), the in-package DRAM cache
-//! organization, and the off-package main memory. Five organizations
-//! implement the common [`L3System`] trait:
+//! organization, and the off-package main memory (what the paper builds
+//! and why: DESIGN.md §1; key modelling decisions: DESIGN.md §4). Five
+//! organizations implement the common [`L3System`] trait:
 //!
 //! * [`TaglessCache`] — the paper's proposal: a cache-map TLB (cTLB)
 //!   translates VA→CA directly; the TLB miss handler performs cache

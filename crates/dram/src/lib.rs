@@ -5,7 +5,9 @@
 //! 3D TSV-based **in-package** DRAM (the DRAM cache) and the DDR3-style
 //! **off-package** DRAM (main memory), plus a resource-reservation
 //! controller that turns individual accesses into completion times under
-//! bank and channel contention.
+//! bank and channel contention. The substitution rationale is
+//! DESIGN.md §2; every timing constant DESIGN.md references must exist
+//! here (enforced by the `design-constants` lint rule, DESIGN.md §9).
 //!
 //! The default parameters are exactly the paper's Table 3 (organization)
 //! and Table 4 (timing/energy):

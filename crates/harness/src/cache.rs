@@ -4,7 +4,8 @@
 //! [`Job`](tdc_core::experiment::Job)s; many cells recur across figures
 //! (every figure normalizes against the same No-L3 baseline, Fig. 8
 //! reuses Fig. 7's SRAM/cTLB runs, Table 1 reuses Fig. 13's NC run, …).
-//! The cache keys finished [`RunReport`]s by [`Job::cache_key`] so each
+//! The cache keys finished [`RunReport`]s by
+//! [`Job::cache_key`](tdc_core::experiment::Job::cache_key) so each
 //! distinct cell is simulated exactly once per harness, no matter how
 //! many figures ask for it.
 

@@ -56,6 +56,11 @@ COMMANDS:
     merge <shard-dir>...
                 Validate a complete shard set and recombine it into
                 one results tree without re-simulating ('tdc merge -h')
+    bench run|check|history
+                Commit-stamped performance history: run the measurement
+                kernels, gate against a checked-in baseline with
+                noise-aware thresholds, or render the trajectory
+                ('tdc bench -h')
     lint        Run the determinism/invariant static analysis over the
                 workspace sources; exit non-zero on any finding not in
                 the ratchet ('tdc lint -h')
@@ -145,6 +150,7 @@ pub fn run(args: &[String]) -> i32 {
         Some("diff") => return crate::diff::run(&args[1..]),
         Some("shard") => return crate::shard::run(&args[1..]),
         Some("merge") => return crate::merge::run(&args[1..]),
+        Some("bench") => return crate::bench::run(&args[1..]),
         Some("lint") => return tdc_lint::cli::run(&args[1..]),
         _ => {}
     }

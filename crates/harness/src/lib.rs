@@ -33,6 +33,12 @@
 //!   plus a manifest.
 //! * [`merge`] — `tdc merge <dir>...`: validate a complete shard set
 //!   and recombine it into one `results/` tree without re-simulating.
+//! * [`kernels`] — the shared micro-benchmark kernel registry and
+//!   repeat-until-stable timing loop (used by `tdc bench` and the
+//!   `cargo bench` front end in `crates/bench`).
+//! * [`mod@bench`] — `tdc bench run/check/history`: commit-stamped
+//!   performance history with a noise-aware regression gate
+//!   (DESIGN.md §11).
 //!
 //! # Example
 //!
@@ -48,9 +54,11 @@
 //! println!("speedup: {:.2}x", reports[1].ipc_total() / reports[0].ipc_total());
 //! ```
 
+pub mod bench;
 pub mod cache;
 pub mod cli;
 pub mod diff;
+pub mod kernels;
 pub mod figures;
 pub mod harness;
 pub mod merge;

@@ -22,7 +22,8 @@
 
 use crate::lexer::{scan, ScannedFile};
 use crate::rules::{
-    design_constants, figure_baselines, line_rules, manifest_schema, probe_coverage, RawFinding,
+    bench_schema, design_constants, figure_baselines, line_rules, manifest_schema, probe_coverage,
+    RawFinding,
     RULES,
 };
 use std::collections::BTreeMap;
@@ -347,6 +348,7 @@ pub fn run(cfg: &Config) -> io::Result<LintReport> {
         let design_text = fs::read_to_string(&design_md)?;
         raw.extend(design_constants(&files, &design_text));
         raw.extend(manifest_schema(&files, &design_text));
+        raw.extend(bench_schema(&files, &design_text));
     }
     raw.sort();
 

@@ -23,7 +23,7 @@ pub struct RawFinding {
 }
 
 /// `(id, summary)` for every rule, in report order.
-pub const RULES: [(&str, &str); 8] = [
+pub const RULES: [(&str, &str); 9] = [
     (
         "hash-collections",
         "HashMap/HashSet in library code: iteration order is nondeterministic and can leak into artifacts",
@@ -55,6 +55,10 @@ pub const RULES: [(&str, &str); 8] = [
     (
         "manifest-schema",
         "the shard-manifest.json schema documented in DESIGN.md must match harness::shard::MANIFEST_FIELDS/MANIFEST_VERSION",
+    ),
+    (
+        "bench-schema",
+        "the bench-history.jsonl record schema documented in DESIGN.md must match harness::bench::RECORD_FIELDS/RECORD_VERSION",
     ),
 ];
 
@@ -395,25 +399,94 @@ pub fn manifest_schema(
     files: &BTreeMap<String, ScannedFile>,
     design_md: &str,
 ) -> Vec<RawFinding> {
-    const SHARD: &str = "crates/harness/src/shard.rs";
-    let Some(shard) = files.get(SHARD) else {
+    schema_sync(&MANIFEST_SPEC, files, design_md)
+}
+
+/// The `tdc bench` record schema has the same two-sources-of-truth
+/// shape as the shard manifest — `RECORD_FIELDS`/`RECORD_VERSION` in
+/// `crates/harness/src/bench.rs` versus the DESIGN.md §11 prose — and
+/// gets the same both-directions check, anchored by the first DESIGN.md
+/// line containing `bench-history.jsonl`.
+pub fn bench_schema(
+    files: &BTreeMap<String, ScannedFile>,
+    design_md: &str,
+) -> Vec<RawFinding> {
+    schema_sync(&BENCH_SPEC, files, design_md)
+}
+
+/// One code-constants-versus-DESIGN.md schema pairing checked by
+/// [`schema_sync`].
+struct SchemaSpec {
+    /// Rule id reported on findings.
+    rule: &'static str,
+    /// Workspace-relative source file declaring the constants.
+    src: &'static str,
+    /// Name of the `[&str; N]` fields constant.
+    fields_const: &'static str,
+    /// Name of the `u64` version constant.
+    version_const: &'static str,
+    /// Literal anchoring the DESIGN.md block (and excluded from its
+    /// backticked field names).
+    anchor: &'static str,
+    /// Module path used in the "never documents it" message.
+    code_home: &'static str,
+    /// Short subject for the version-drift message.
+    subject: &'static str,
+    /// Noun for the documented-but-missing-in-code message.
+    field_noun: &'static str,
+}
+
+const MANIFEST_SPEC: SchemaSpec = SchemaSpec {
+    rule: "manifest-schema",
+    src: "crates/harness/src/shard.rs",
+    fields_const: "MANIFEST_FIELDS",
+    version_const: "MANIFEST_VERSION",
+    anchor: "shard-manifest.json",
+    code_home: "harness::shard",
+    subject: "shard-manifest",
+    field_noun: "manifest field",
+};
+
+const BENCH_SPEC: SchemaSpec = SchemaSpec {
+    rule: "bench-schema",
+    src: "crates/harness/src/bench.rs",
+    fields_const: "RECORD_FIELDS",
+    version_const: "RECORD_VERSION",
+    anchor: "bench-history.jsonl",
+    code_home: "harness::bench",
+    subject: "bench-record",
+    field_noun: "bench record field",
+};
+
+/// The shared both-directions check: every documented field exists in
+/// the code constant, every code field is documented, and the
+/// documented `format_version` matches the version constant. The
+/// documented block is anchored by the first DESIGN.md line containing
+/// `spec.anchor`; that line carries `format_version N`, and the
+/// backtick-quoted names on it and the following lines (up to the
+/// first blank line) are the documented fields.
+fn schema_sync(
+    spec: &SchemaSpec,
+    files: &BTreeMap<String, ScannedFile>,
+    design_md: &str,
+) -> Vec<RawFinding> {
+    let Some(src) = files.get(spec.src) else {
         return Vec::new();
     };
-    let Some((code_fields, code_version)) = manifest_constants(shard) else {
+    let Some((code_fields, code_version)) = schema_constants(src, spec) else {
         return Vec::new();
     };
 
-    let anchor = design_md
-        .lines()
-        .position(|l| l.contains("shard-manifest.json"));
+    let anchor = design_md.lines().position(|l| l.contains(spec.anchor));
     let Some(anchor) = anchor else {
         return vec![RawFinding {
             file: "DESIGN.md".to_string(),
             line: 1,
-            rule: "manifest-schema",
+            rule: spec.rule,
             message: format!(
-                "harness::shard defines the shard-manifest.json schema \
-                 ({} fields) but DESIGN.md never documents it",
+                "{} defines the {} schema ({} fields) but DESIGN.md never documents it",
+                spec.code_home,
+                spec.anchor,
                 code_fields.len()
             ),
         }];
@@ -421,7 +494,7 @@ pub fn manifest_schema(
     let hit = |message: String| RawFinding {
         file: "DESIGN.md".to_string(),
         line: anchor + 1,
-        rule: "manifest-schema",
+        rule: spec.rule,
         message,
     };
     let mut out = Vec::new();
@@ -431,12 +504,13 @@ pub fn manifest_schema(
     match trailing_number(anchor_line, "format_version") {
         Some(v) if v == code_version => {}
         Some(v) => out.push(hit(format!(
-            "DESIGN.md documents shard-manifest format_version {v} but \
-             MANIFEST_VERSION is {code_version}"
+            "DESIGN.md documents {} format_version {v} but {} is {code_version}",
+            spec.subject, spec.version_const
         ))),
-        None => out.push(hit(
-            "the shard-manifest.json line must state `format_version N`".to_string(),
-        )),
+        None => out.push(hit(format!(
+            "the {} line must state `format_version N`",
+            spec.anchor
+        ))),
     }
 
     let mut doc_fields: Vec<String> = Vec::new();
@@ -444,47 +518,46 @@ pub fn manifest_schema(
         doc_fields.extend(
             backticked(line)
                 .into_iter()
-                .filter(|t| *t != "shard-manifest.json")
+                .filter(|t| *t != spec.anchor)
                 .map(str::to_string),
         );
     }
     for field in &doc_fields {
         if !code_fields.contains(field) {
             out.push(hit(format!(
-                "DESIGN.md documents manifest field `{field}` but \
-                 MANIFEST_FIELDS does not include it"
+                "DESIGN.md documents {} `{field}` but {} does not include it",
+                spec.field_noun, spec.fields_const
             )));
         }
     }
     for field in &code_fields {
         if !doc_fields.contains(field) {
             out.push(hit(format!(
-                "MANIFEST_FIELDS includes `{field}` but DESIGN.md's \
-                 shard-manifest.json schema does not document it"
+                "{} includes `{field}` but DESIGN.md's {} schema does not document it",
+                spec.fields_const, spec.anchor
             )));
         }
     }
     out
 }
 
-/// Extracts `(MANIFEST_FIELDS entries, MANIFEST_VERSION)` from the
-/// scanned shard module. `None` when either constant is absent.
-fn manifest_constants(shard: &ScannedFile) -> Option<(Vec<String>, u64)> {
+/// Extracts `(fields-constant entries, version constant)` from the
+/// scanned source module. `None` when either constant is absent.
+fn schema_constants(src: &ScannedFile, spec: &SchemaSpec) -> Option<(Vec<String>, u64)> {
+    let fields_decl = format!("const {}", spec.fields_const);
+    let version_decl = format!("const {}", spec.version_const);
     let mut fields: Option<Vec<String>> = None;
     let mut version: Option<u64> = None;
     let mut in_fields = false;
-    for (idx, line) in shard.lines.iter().enumerate() {
-        if shard.is_test_code(idx) {
+    for (idx, line) in src.lines.iter().enumerate() {
+        if src.is_test_code(idx) {
             break;
         }
-        if version.is_none()
-            && line.code.contains("const MANIFEST_VERSION")
-            && line.code.contains('=')
-        {
+        if version.is_none() && line.code.contains(&version_decl) && line.code.contains('=') {
             version = trailing_number(&line.code, "=");
         }
         // Anchor on the declaration, not later mentions of the name.
-        if fields.is_none() && line.code.contains("const MANIFEST_FIELDS") {
+        if fields.is_none() && line.code.contains(&fields_decl) {
             in_fields = true;
             fields = Some(Vec::new());
         }
@@ -687,6 +760,56 @@ mod tests {
         assert!(hits.iter().any(|h| h.message.contains("`bogus_field`")));
         assert!(hits.iter().any(|h| h.message.contains("`shard`")
             && h.message.contains("does not document")));
+    }
+
+    fn bench_files(fields: &[&str], version: u64) -> BTreeMap<String, ScannedFile> {
+        let list = fields
+            .iter()
+            .map(|f| format!("    \"{f}\","))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let src = format!(
+            "pub const RECORD_VERSION: u64 = {version};\n\
+             pub const RECORD_FIELDS: [&str; {}] = [\n{list}\n];\n",
+            fields.len()
+        );
+        let mut files = BTreeMap::new();
+        files.insert("crates/harness/src/bench.rs".to_string(), scan(&src));
+        files
+    }
+
+    #[test]
+    fn bench_schema_passes_when_doc_and_code_agree() {
+        let files = bench_files(&["format_version", "benches"], 1);
+        let doc = "## Bench history\n\n\
+                   `bench-history.jsonl` (format_version 1) records carry\n\
+                   `format_version` and `benches`.\n\n more prose";
+        assert!(bench_schema(&files, doc).is_empty());
+    }
+
+    #[test]
+    fn bench_schema_flags_both_directions_and_version_drift() {
+        let files = bench_files(&["format_version", "benches"], 2);
+        let doc = "`bench-history.jsonl` (format_version 1) records carry\n\
+                   `format_version` and `bogus_field`.\n";
+        let hits = bench_schema(&files, doc);
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        assert!(hits.iter().all(|h| h.rule == "bench-schema" && h.file == "DESIGN.md"));
+        assert!(hits.iter().any(|h| h.message.contains("format_version 1")
+            && h.message.contains("RECORD_VERSION is 2")));
+        assert!(hits.iter().any(|h| h.message.contains("`bogus_field`")));
+        assert!(hits.iter().any(|h| h.message.contains("`benches`")
+            && h.message.contains("does not document")));
+    }
+
+    #[test]
+    fn bench_schema_requires_documentation_when_code_exists() {
+        let files = bench_files(&["format_version"], 1);
+        let hits = bench_schema(&files, "# DESIGN\n\nno schema here\n");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("harness::bench"));
+        assert!(hits[0].message.contains("never documents"));
+        assert!(bench_schema(&BTreeMap::new(), "anything").is_empty());
     }
 
     #[test]

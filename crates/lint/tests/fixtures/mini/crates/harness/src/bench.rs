@@ -1,0 +1,8 @@
+//! Mini bench module: schema constants for the bench-schema rule.
+
+pub const RECORD_VERSION: u64 = 1;
+
+pub const RECORD_FIELDS: [&str; 2] = [
+    "format_version",
+    "benches",
+];

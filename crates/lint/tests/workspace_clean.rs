@@ -70,6 +70,20 @@ fn workspace_scan_is_not_vacuous() {
         design.contains("shard-manifest.json"),
         "DESIGN.md no longer documents the shard manifest schema"
     );
+    // And the bench-schema rule: the record constants and the §11
+    // block must both exist for a clean run to mean "in sync".
+    let bench = std::fs::read_to_string(
+        workspace_root().join("crates/harness/src/bench.rs"),
+    )
+    .expect("bench.rs readable");
+    assert!(
+        bench.contains("const RECORD_FIELDS") && bench.contains("const RECORD_VERSION"),
+        "bench.rs no longer declares the record schema constants; update the lint rule"
+    );
+    assert!(
+        design.contains("bench-history.jsonl"),
+        "DESIGN.md no longer documents the bench record schema"
+    );
     // Grandfathered debt is expected to exist for now; if it ever hits
     // zero, delete lint.ratchet rather than loosening this test.
     assert!(

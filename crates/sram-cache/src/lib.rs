@@ -1,6 +1,8 @@
 //! On-die SRAM cache structures.
 //!
-//! Two things live here:
+//! Role in the stack: DESIGN.md §3 (crate inventory); the Table 6
+//! model's substitution rationale is DESIGN.md §2. Two things live
+//! here:
 //!
 //! * [`SetAssocCache`] — a generic set-associative cache model used for
 //!   the per-core L1/L2 caches *and* for the tag array of the SRAM-tag

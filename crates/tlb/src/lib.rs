@@ -1,7 +1,8 @@
 //! TLBs, page tables, and the page-table walker.
 //!
 //! This crate models the virtual-memory substrate the tagless design
-//! modifies:
+//! modifies (role in the stack: DESIGN.md §3; the VC/NC/PU semantics
+//! trace to DESIGN.md §1):
 //!
 //! * [`Pte`] — a page-table entry extended with the paper's three flag
 //!   bits: *Valid-in-Cache* (VC), *Non-Cacheable* (NC), and *Pending

@@ -1,7 +1,8 @@
 //! Deterministic foundations for the tagless DRAM cache simulator.
 //!
 //! This crate provides the small, dependency-free substrate the rest of the
-//! workspace is built on:
+//! workspace is built on (the zero-external-dependency rule it exists to
+//! satisfy is DESIGN.md §6; its regression-gate helpers back DESIGN.md §11):
 //!
 //! * [`rng`] — seedable, splittable pseudo-random number generators
 //!   (SplitMix64 and PCG32). The simulator deliberately does not use the
@@ -56,3 +57,4 @@ pub use pool::run_tasks;
 pub use probe::{EventGroup, NoProbe, Probe, ProbeEvent, Recorder, SharedProbe};
 pub use rng::{Pcg32, Rng, SplitMix64};
 pub use stats::{geomean, Histogram, RunningStats};
+pub use stats::{is_improvement, is_regression, median, regression_threshold, spread};

@@ -19,7 +19,7 @@
 //!
 //! High-frequency events (retires, TLB lookups, cTLB hits) are
 //! aggregated into epochs only; everything else is also kept as a raw
-//! cycle-stamped stream, capped at [`Recorder::max_events`] (overflow is
+//! cycle-stamped stream, capped at [`Recorder::with_max_events`] (overflow is
 //! counted, never silently lost).
 //!
 //! Recording probes deliberately do not implement `Send`: a probed run

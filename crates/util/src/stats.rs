@@ -246,6 +246,54 @@ pub fn median_window_stable(runs: &[f64], window: usize, tol: f64) -> bool {
     (prev - last).abs() <= tol * scale
 }
 
+/// Absolute spread (`max - min`) of a sample set; 0 for an empty or
+/// single-element slice. The bench harness records this next to each
+/// median as the noise band a later comparison must stay inside.
+pub fn spread(values: &[f64]) -> f64 {
+    let mut iter = values.iter();
+    let Some(&first) = iter.next() else {
+        return 0.0;
+    };
+    let (mut lo, mut hi) = (first, first);
+    for &v in iter {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    hi - lo
+}
+
+/// The largest value a current measurement may take before counting as
+/// a **regression** against a recorded `(median, spread)` pair:
+///
+/// ```text
+/// threshold = median + spread + margin × |median|
+/// ```
+///
+/// The spread term absorbs the noise the baseline itself observed; the
+/// relative `margin` demands the excess be a real fraction of the
+/// baseline before anyone is paged. The threshold is monotone in all
+/// three arguments (for non-negative `spread`/`margin`), so loosening
+/// the margin can only un-flag, never flag. A zero baseline median
+/// degenerates to `spread` alone — still well-defined.
+pub fn regression_threshold(median: f64, spread: f64, margin: f64) -> f64 {
+    median + spread + margin * median.abs()
+}
+
+/// Whether `current` regresses past a recorded `(median, spread)`
+/// baseline by more than the relative `margin`
+/// (see [`regression_threshold`]). Measurements are "smaller is
+/// better" (ns/op), so only exceeding the threshold flags.
+pub fn is_regression(current: f64, median: f64, spread: f64, margin: f64) -> bool {
+    current > regression_threshold(median, spread, margin)
+}
+
+/// The mirror image of [`is_regression`]: `current` is faster than the
+/// baseline by more than its noise band plus the relative margin.
+/// Improvements are reported, never gated on.
+pub fn is_improvement(current: f64, median: f64, spread: f64, margin: f64) -> bool {
+    current < median - spread - margin * median.abs()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +427,83 @@ mod tests {
         // The same shape within tolerance (0.1% steps) is stable.
         let settled: Vec<f64> = (0..10).map(|i| 100.0 * 1.001f64.powi(i)).collect();
         assert!(median_window_stable(&settled, 3, 0.02));
+    }
+
+    #[test]
+    fn spread_degenerate_cases() {
+        // Empty and single-sample sets have no spread by definition.
+        assert_eq!(spread(&[]), 0.0);
+        assert_eq!(spread(&[42.0]), 0.0);
+        // All-equal samples: measured noise is exactly zero.
+        assert_eq!(spread(&[7.0, 7.0, 7.0, 7.0]), 0.0);
+        // Order does not matter.
+        assert_eq!(spread(&[3.0, 9.0, 5.0]), 6.0);
+        assert_eq!(spread(&[9.0, 3.0, 5.0]), 6.0);
+    }
+
+    #[test]
+    fn threshold_degenerate_cases() {
+        // Zero spread, zero margin: any excess at all is a regression.
+        assert!(!is_regression(100.0, 100.0, 0.0, 0.0));
+        assert!(is_regression(100.0 + 1e-9, 100.0, 0.0, 0.0));
+        // Zero baseline median: the threshold degenerates to the spread.
+        assert_eq!(regression_threshold(0.0, 2.5, 0.1), 2.5);
+        assert!(is_regression(2.6, 0.0, 2.5, 0.1));
+        assert!(!is_regression(2.4, 0.0, 2.5, 0.1));
+        // A single-sample baseline (spread 0) still gates via margin.
+        assert!(!is_regression(109.0, 100.0, 0.0, 0.1));
+        assert!(is_regression(111.0, 100.0, 0.0, 0.1));
+    }
+
+    #[test]
+    fn regression_and_improvement_are_disjoint() {
+        // Inside the noise band: neither flag fires.
+        for cur in [95.0, 100.0, 105.0, 114.0] {
+            assert!(!is_regression(cur, 100.0, 5.0, 0.09), "cur={cur}");
+        }
+        assert!(is_regression(115.1, 100.0, 5.0, 0.09));
+        assert!(is_improvement(85.9, 100.0, 5.0, 0.09));
+        assert!(!is_improvement(86.1, 100.0, 5.0, 0.09));
+        // No value can be both.
+        for cur in (0..300).map(|i| i as f64) {
+            assert!(
+                !(is_regression(cur, 100.0, 5.0, 0.09)
+                    && is_improvement(cur, 100.0, 5.0, 0.09)),
+                "cur={cur} flagged both ways"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_is_monotone_in_spread_and_margin() {
+        // Hand-rolled property sweep (the workspace carries no proptest):
+        // over a grid of baselines, spreads, and margins, the threshold
+        // must be monotone non-decreasing in spread and margin, and a
+        // larger margin must never flag a measurement a smaller one
+        // passed.
+        use crate::rng::{Pcg32, Rng};
+        let mut rng = Pcg32::seed_from_u64(0xbe7c);
+        for _ in 0..500 {
+            let median = (rng.gen_range(2_000) as f64 / 10.0) - 50.0; // [-50, 150)
+            let s1 = rng.gen_range(1_000) as f64 / 100.0;
+            let s2 = s1 + rng.gen_range(1_000) as f64 / 100.0;
+            let m1 = rng.gen_range(100) as f64 / 100.0;
+            let m2 = m1 + rng.gen_range(100) as f64 / 100.0;
+            let base = regression_threshold(median, s1, m1);
+            assert!(regression_threshold(median, s2, m1) >= base);
+            assert!(regression_threshold(median, s1, m2) >= base);
+            let current = median + rng.gen_range(6_000) as f64 / 100.0;
+            if is_regression(current, median, s1, m2) {
+                assert!(
+                    is_regression(current, median, s1, m1),
+                    "loosening the margin flagged current={current} median={median} \
+                     spread={s1} m1={m1} m2={m2}"
+                );
+            }
+            // The baseline median itself is never a regression against
+            // its own record (spread and margin are non-negative).
+            assert!(!is_regression(median, median, s1, m1));
+        }
     }
 
     #[test]

@@ -15,6 +15,9 @@ cargo build --release --workspace
 echo "== lint (clippy, warnings are errors) =="
 cargo clippy -q --workspace --all-targets -- -D warnings
 
+echo "== docs (rustdoc, warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps
+
 echo "== tests (unit + property + integration) =="
 cargo test -q --workspace
 
@@ -46,3 +49,24 @@ test -s "$out/merged/index.json" || { echo "merge wrote no index.json" >&2; exit
 
 echo "== regression: tdc diff vs baselines/scale-0.25 =="
 ./target/release/tdc diff baselines/scale-0.25 --jobs 2 --quiet
+
+echo "== perf: tdc bench run twice + noise-aware gate =="
+# Hermetic gate: record -> promote to a throwaway baseline -> record
+# again -> check. A reduced iteration budget and a capped run count
+# keep it fast; the checked-in baselines/bench-baseline.json is the
+# cross-commit gate for the recording host (see BENCHMARKS.md).
+bench_env=(env TDC_BENCH_ITERS_SCALE=0.02 TDC_BENCH_MAX_RUNS=3)
+"${bench_env[@]}" ./target/release/tdc bench run \
+    --out "$out/bench" --stamp-dir "$out" --scale 0.01 --jobs 2 --quiet
+./target/release/tdc bench check --history "$out/bench/bench-history.jsonl" \
+    --baseline "$out/bench-baseline.json" --update --allow-dirty
+"${bench_env[@]}" ./target/release/tdc bench run \
+    --out "$out/bench" --stamp-dir "$out" --scale 0.01 --jobs 2 --quiet
+./target/release/tdc bench check --history "$out/bench/bench-history.jsonl" \
+    --baseline "$out/bench-baseline.json"
+
+echo "== bench artifact (upload-or-print) =="
+# No artifact store is configured for the local gate, so print the
+# commit stamp; a CI provider would upload this file instead.
+stamp="$(ls "$out"/BENCH_*.json | head -n1)"
+cat "$stamp"
