@@ -10,6 +10,7 @@
 //! over [`run`], so `cargo run -p tdc-bench --bin fig07` and
 //! `tdc fig07` are the same code path.
 
+use std::io;
 use std::path::PathBuf;
 // Wall-clock here only feeds the stderr summary and metrics.json, the
 // one deliberately nondeterministic artifact.
@@ -28,6 +29,7 @@ struct Options {
     scale: Option<f64>,
     seed: u64,
     out: Option<PathBuf>,
+    cache_dir: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -64,6 +66,9 @@ COMMANDS:
     lint        Run the determinism/invariant static analysis over the
                 workspace sources; exit non-zero on any finding not in
                 the ratchet ('tdc lint -h')
+    serve       Start the persistent sweep service: a daemon that holds
+                results warm across requests, with a content-addressed
+                disk store and a load generator ('tdc serve -h')
 
 OPTIONS:
     --jobs N    Worker threads (default: available CPU parallelism)
@@ -71,6 +76,9 @@ OPTIONS:
     --seed S    Master seed (default: 2015)
     --out DIR   Artifact directory (default: results)
     --no-out    Skip writing JSON artifacts
+    --cache-dir DIR
+                Warm-start from (and persist results to) the same
+                content-addressed store 'tdc serve --cache-dir' uses
     --quiet     Suppress per-job progress lines on stderr
     -h, --help  Show this help
 
@@ -84,6 +92,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         scale: None,
         seed: SEED,
         out: Some(PathBuf::from("results")),
+        cache_dir: None,
         quiet: false,
     };
     let mut it = args.iter();
@@ -116,6 +125,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
             "--no-out" => opts.out = None,
+            "--cache-dir" => opts.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
             "--quiet" => opts.quiet = true,
             "-h" | "--help" => return Err(USAGE.to_string()),
             "list" => opts.ids.push("list".into()),
@@ -152,6 +162,7 @@ pub fn run(args: &[String]) -> i32 {
         Some("merge") => return crate::merge::run(&args[1..]),
         Some("bench") => return crate::bench::run(&args[1..]),
         Some("lint") => return tdc_lint::cli::run(&args[1..]),
+        Some("serve") => return crate::serve::run(&args[1..]),
         _ => {}
     }
     let opts = match parse(args) {
@@ -172,6 +183,29 @@ pub fn run(args: &[String]) -> i32 {
     let cfg = config(&opts);
     let start = Instant::now(); // tdc-lint: allow(time-source)
     let harness = Harness::new(cfg, opts.jobs).verbose(!opts.quiet);
+
+    // Warm-start from the content-addressed store `tdc serve` shares.
+    let store = match &opts.cache_dir {
+        Some(dir) => match tdc_serve::ResultStore::open(dir) {
+            Ok(store) => match warm_start(&harness, &store, &opts.ids, &cfg) {
+                Ok(warmed) => {
+                    if !opts.quiet && warmed > 0 {
+                        eprintln!("tdc: warm-started {warmed} cell(s) from {}", dir.display());
+                    }
+                    Some(store)
+                }
+                Err(e) => {
+                    eprintln!("tdc: cannot read --cache-dir {}: {e}", dir.display());
+                    return 1;
+                }
+            },
+            Err(e) => {
+                eprintln!("tdc: cannot open --cache-dir {}: {e}", dir.display());
+                return 1;
+            }
+        },
+        None => None,
+    };
     if !opts.quiet {
         println!(
             "tdc | {} figure(s) | jobs={} | seed={} | warmup={} measured={} refs/core",
@@ -216,7 +250,14 @@ pub fn run(args: &[String]) -> i32 {
                 return 1;
             }
         }
-        match write_metrics(dir, &stats, opts.jobs, wall.as_secs_f64(), &harness.timings()) {
+        match write_metrics(
+            dir,
+            &stats,
+            &harness.cache_counters(),
+            opts.jobs,
+            wall.as_secs_f64(),
+            &harness.timings(),
+        ) {
             Ok(path) => eprintln!("tdc: wrote {}", path.display()),
             Err(e) => {
                 eprintln!("tdc: failed to write metrics under {}: {e}", dir.display());
@@ -224,7 +265,70 @@ pub fn run(args: &[String]) -> i32 {
             }
         }
     }
+
+    if let Some(store) = &store {
+        match persist_results(&harness, store) {
+            Ok(persisted) => {
+                if !opts.quiet && persisted > 0 {
+                    eprintln!(
+                        "tdc: persisted {persisted} cell(s) to {}",
+                        store.dir().display()
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "tdc: failed to persist results to {}: {e}",
+                    store.dir().display()
+                );
+                return 1;
+            }
+        }
+    }
     0
+}
+
+/// Preloads every stored cell the requested figures can use. Cells
+/// outside the requested figure set stay on disk so `results/` keeps
+/// containing exactly the requested cells.
+fn warm_start(
+    harness: &Harness,
+    store: &tdc_serve::ResultStore,
+    ids: &[String],
+    cfg: &RunConfig,
+) -> Result<usize, String> {
+    use crate::figures::jobs_for;
+    let mut wanted = std::collections::BTreeSet::new();
+    for id in ids {
+        for job in jobs_for(id, cfg).into_iter().flatten() {
+            wanted.insert(job.cache_key());
+        }
+    }
+    let (entries, _skipped) = store.load_all().map_err(|e| e.to_string())?;
+    let mut warmed = 0usize;
+    for (key, doc) in entries {
+        if !wanted.contains(&key) {
+            continue;
+        }
+        let Ok((stored_key, report)) = crate::sink::report_from_json(&doc) else {
+            continue; // incompatible report schema: re-simulate
+        };
+        if stored_key != key {
+            continue;
+        }
+        harness.preload(key, report);
+        warmed += 1;
+    }
+    Ok(warmed)
+}
+
+/// Writes every cached cell to the store (first write per key wins).
+fn persist_results(harness: &Harness, store: &tdc_serve::ResultStore) -> io::Result<usize> {
+    let before = store.counters().persisted;
+    for (key, report) in harness.results() {
+        store.put(&key, &crate::sink::report_json(&key, &report))?;
+    }
+    Ok((store.counters().persisted - before) as usize)
 }
 
 /// Convenience for the thin `figNN` wrapper binaries: runs exactly one

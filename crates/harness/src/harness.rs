@@ -81,6 +81,17 @@ impl Harness {
         self.cache.snapshot()
     }
 
+    /// The result cache's lifetime hit/miss/insert counters.
+    pub fn cache_counters(&self) -> crate::cache::CacheCounters {
+        self.cache.counters()
+    }
+
+    /// The cached report for `key`, if present (no counter side
+    /// effects).
+    pub fn cached(&self, key: &str) -> Option<Arc<RunReport>> {
+        self.cache.peek(key)
+    }
+
     /// Seeds the cache with an already-computed report, as if the job
     /// with `key` had just run. `tdc merge` uses this to rehydrate a
     /// harness from shard artifacts so figure generation is pure cache
@@ -153,7 +164,7 @@ impl Harness {
         }
 
         keys.iter()
-            .map(|k| self.cache.get(k).expect("just inserted"))
+            .map(|k| self.cache.peek(k).expect("just inserted"))
             .collect()
     }
 

@@ -39,6 +39,10 @@
 //! * [`mod@bench`] — `tdc bench run/check/history`: commit-stamped
 //!   performance history with a noise-aware regression gate
 //!   (DESIGN.md §11).
+//! * [`serve`] — `tdc serve`: the persistent sweep service
+//!   (DESIGN.md §12). Implements the `tdc-serve` crate's engine seam
+//!   over the full job plan and hosts both the daemon and the
+//!   `--bench` load generator.
 //!
 //! # Example
 //!
@@ -63,6 +67,7 @@ pub mod figures;
 pub mod harness;
 pub mod merge;
 pub mod pool;
+pub mod serve;
 pub mod shard;
 pub mod sink;
 pub mod trace;

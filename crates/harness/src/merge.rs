@@ -394,6 +394,7 @@ fn execute(opts: &MergeOptions) -> Result<usize, String> {
     write_metrics(
         &opts.out,
         &stats,
+        &harness.cache_counters(),
         0,
         start.elapsed().as_secs_f64(),
         &harness.timings(),

@@ -308,6 +308,7 @@ pub fn write_results(
 pub fn write_metrics(
     dir: &Path,
     stats: &crate::harness::HarnessStats,
+    cache: &crate::cache::CacheCounters,
     jobs: usize,
     wall_seconds: f64,
     timings: &[(String, f64)],
@@ -330,6 +331,14 @@ pub fn write_metrics(
         ("requested", Json::from(stats.requested)),
         ("executed", Json::from(stats.executed)),
         ("cache_hits", Json::from(stats.cache_hits)),
+        (
+            "result_cache",
+            Json::obj([
+                ("hits", Json::from(cache.hits)),
+                ("misses", Json::from(cache.misses)),
+                ("inserts", Json::from(cache.inserts)),
+            ]),
+        ),
         ("jobs", Json::from(jobs)),
         ("per_job", per_job),
     ]);

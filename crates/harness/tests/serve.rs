@@ -1,0 +1,182 @@
+//! Process-level contract of `tdc serve` and the shared result store:
+//!
+//! * two concurrent identical sweeps against a live daemon run exactly
+//!   one simulation and return byte-identical bodies (single-flight);
+//! * restarting the daemon on the same `--cache-dir` serves the same
+//!   cell without simulating at all (store warm start);
+//! * batch `tdc <figure> --cache-dir` warm-starts from the very same
+//!   store: a second run executes zero jobs and reproduces the figure
+//!   artifact byte-for-byte.
+
+use std::fs;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use tdc_core::RunConfig;
+use tdc_harness::figures::jobs_for;
+use tdc_serve::{exchange, sweep_request};
+use tdc_util::http::Request;
+use tdc_util::Json;
+
+/// The configuration every process in these tests runs under
+/// (`--scale 0.001 --seed 2015`).
+fn tiny() -> RunConfig {
+    RunConfig::scaled(2015, 0.001)
+}
+
+/// One in-plan cache key (the first `amat` cell).
+fn amat_key() -> String {
+    jobs_for("amat", &tiny()).expect("amat exists")[0].cache_key()
+}
+
+fn temp_base(tag: &str) -> PathBuf {
+    let base = std::env::temp_dir().join(format!("tdc-serve-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+    fs::create_dir_all(&base).expect("temp base");
+    base
+}
+
+/// A daemon child plus the ephemeral address it reported on stdout.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Spawns `tdc serve` on an ephemeral port with the tiny config
+    /// plus `extra` flags, and waits for the listening line.
+    fn spawn(extra: &[&str]) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_tdc"))
+            .args([
+                "serve", "--addr", "127.0.0.1:0", "--scale", "0.001", "--seed", "2015",
+                "--jobs", "2", "--quiet",
+            ])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("daemon spawns");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("daemon prints its address before EOF")
+                .expect("readable stdout");
+            if let Some(rest) = line.strip_prefix("tdc serve: listening on ") {
+                break rest.trim().to_string();
+            }
+        };
+        Daemon { child, addr }
+    }
+
+    /// POSTs `/shutdown` and asserts the daemon exits cleanly.
+    fn shutdown(mut self) {
+        let resp = exchange(&self.addr, &Request::new("POST", "/shutdown", Vec::new()))
+            .expect("shutdown request reaches the daemon");
+        assert_eq!(resp.status, 200);
+        let status = self.child.wait().expect("daemon exits");
+        assert!(status.success(), "daemon exit status: {status}");
+    }
+
+    /// The daemon's `data.work.executed` counter from `/metrics`.
+    fn executed(&self) -> u64 {
+        let resp = exchange(&self.addr, &Request::new("GET", "/metrics", Vec::new()))
+            .expect("/metrics responds");
+        assert_eq!(resp.status, 200);
+        let env = Json::parse(std::str::from_utf8(&resp.body).expect("UTF-8 body"))
+            .expect("/metrics body parses");
+        env.get("data")
+            .and_then(|d| d.get("work"))
+            .and_then(|w| w.get("executed"))
+            .and_then(Json::as_u64)
+            .expect("work.executed counter")
+    }
+}
+
+fn sweep(addr: &str, key: &str) -> (u16, Vec<u8>) {
+    let body = sweep_request(&[key.to_string()], &[]).pretty();
+    let resp = exchange(addr, &Request::new("POST", "/sweep", body)).expect("sweep responds");
+    (resp.status, resp.body)
+}
+
+#[test]
+fn concurrent_sweeps_single_flight_and_store_survives_restart() {
+    let base = temp_base("daemon");
+    let store = base.join("store");
+    let key = amat_key();
+
+    // Two identical sweeps race against a cold daemon: exactly one
+    // simulation runs and both clients get the same bytes back.
+    let daemon = Daemon::spawn(&["--cache-dir", store.to_str().expect("utf-8 path")]);
+    let (first, second) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| sweep(&daemon.addr, &key));
+        let b = scope.spawn(|| sweep(&daemon.addr, &key));
+        (a.join().expect("client a"), b.join().expect("client b"))
+    });
+    assert_eq!(first.0, 200);
+    assert_eq!(second.0, 200);
+    assert_eq!(
+        first.1, second.1,
+        "concurrent identical sweeps must return byte-identical bodies"
+    );
+    assert_eq!(daemon.executed(), 1, "single-flight must run the cell once");
+    let warm_body = first.1.clone();
+    daemon.shutdown();
+
+    // The store persisted the cell, so a fresh daemon on the same
+    // --cache-dir serves it without simulating.
+    assert!(
+        fs::read_dir(&store).expect("store dir").next().is_some(),
+        "store must hold at least one persisted cell"
+    );
+    let daemon = Daemon::spawn(&["--cache-dir", store.to_str().expect("utf-8 path")]);
+    let (status, body) = sweep(&daemon.addr, &key);
+    assert_eq!(status, 200);
+    assert_eq!(body, warm_body, "store round trip must preserve the bytes");
+    assert_eq!(daemon.executed(), 0, "warm-started cell must not re-simulate");
+    daemon.shutdown();
+
+    let _ = fs::remove_dir_all(&base);
+}
+
+/// Runs `tdc amat` into `out` against the shared store and returns the
+/// figure bytes plus the harness `executed` counter from metrics.json.
+fn batch_amat(out: &Path, store: &Path) -> (Vec<u8>, u64) {
+    let output = Command::new(env!("CARGO_BIN_EXE_tdc"))
+        .args(["amat", "--scale", "0.001", "--seed", "2015", "--jobs", "2", "--quiet"])
+        .args(["--out", out.to_str().expect("utf-8 path")])
+        .args(["--cache-dir", store.to_str().expect("utf-8 path")])
+        .output()
+        .expect("tdc amat runs");
+    assert!(
+        output.status.success(),
+        "tdc amat failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let figure = fs::read(out.join("amat.json")).expect("amat.json exists");
+    let metrics = fs::read_to_string(out.join("metrics.json")).expect("metrics.json exists");
+    let executed = Json::parse(&metrics)
+        .expect("metrics.json parses")
+        .get("executed")
+        .and_then(Json::as_u64)
+        .expect("executed counter");
+    (figure, executed)
+}
+
+#[test]
+fn batch_cache_dir_warm_starts_from_the_same_store() {
+    let base = temp_base("batch");
+    let store = base.join("store");
+
+    let (cold_figure, cold_executed) = batch_amat(&base.join("cold"), &store);
+    assert!(cold_executed > 0, "cold run must simulate");
+
+    let (warm_figure, warm_executed) = batch_amat(&base.join("warm"), &store);
+    assert_eq!(warm_executed, 0, "warm run must load every cell from the store");
+    assert_eq!(
+        cold_figure, warm_figure,
+        "warm start must reproduce the figure byte-for-byte"
+    );
+
+    let _ = fs::remove_dir_all(&base);
+}

@@ -23,7 +23,7 @@ pub struct RawFinding {
 }
 
 /// `(id, summary)` for every rule, in report order.
-pub const RULES: [(&str, &str); 9] = [
+pub const RULES: [(&str, &str); 10] = [
     (
         "hash-collections",
         "HashMap/HashSet in library code: iteration order is nondeterministic and can leak into artifacts",
@@ -59,6 +59,10 @@ pub const RULES: [(&str, &str); 9] = [
     (
         "bench-schema",
         "the bench-history.jsonl record schema documented in DESIGN.md must match harness::bench::RECORD_FIELDS/RECORD_VERSION",
+    ),
+    (
+        "wire-schema",
+        "the serve-envelope wire format documented in DESIGN.md must match serve::wire::WIRE_FIELDS/WIRE_VERSION",
     ),
 ];
 
@@ -414,6 +418,14 @@ pub fn bench_schema(
     schema_sync(&BENCH_SPEC, files, design_md)
 }
 
+/// The `tdc serve` response envelope is the third two-sources-of-truth
+/// schema — `WIRE_FIELDS`/`WIRE_VERSION` in `crates/serve/src/wire.rs`
+/// versus the DESIGN.md §12 prose — anchored by the first DESIGN.md
+/// line containing `serve-envelope`.
+pub fn wire_schema(files: &BTreeMap<String, ScannedFile>, design_md: &str) -> Vec<RawFinding> {
+    schema_sync(&WIRE_SPEC, files, design_md)
+}
+
 /// One code-constants-versus-DESIGN.md schema pairing checked by
 /// [`schema_sync`].
 struct SchemaSpec {
@@ -456,6 +468,17 @@ const BENCH_SPEC: SchemaSpec = SchemaSpec {
     code_home: "harness::bench",
     subject: "bench-record",
     field_noun: "bench record field",
+};
+
+const WIRE_SPEC: SchemaSpec = SchemaSpec {
+    rule: "wire-schema",
+    src: "crates/serve/src/wire.rs",
+    fields_const: "WIRE_FIELDS",
+    version_const: "WIRE_VERSION",
+    anchor: "serve-envelope",
+    code_home: "serve::wire",
+    subject: "serve-envelope",
+    field_noun: "envelope field",
 };
 
 /// The shared both-directions check: every documented field exists in
@@ -810,6 +833,56 @@ mod tests {
         assert!(hits[0].message.contains("harness::bench"));
         assert!(hits[0].message.contains("never documents"));
         assert!(bench_schema(&BTreeMap::new(), "anything").is_empty());
+    }
+
+    fn wire_files(fields: &[&str], version: u64) -> BTreeMap<String, ScannedFile> {
+        let list = fields
+            .iter()
+            .map(|f| format!("\"{f}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let src = format!(
+            "pub const WIRE_VERSION: u64 = {version};\n\
+             pub const WIRE_FIELDS: [&str; {}] = [{list}];\n",
+            fields.len()
+        );
+        let mut files = BTreeMap::new();
+        files.insert("crates/serve/src/wire.rs".to_string(), scan(&src));
+        files
+    }
+
+    #[test]
+    fn wire_schema_passes_when_doc_and_code_agree() {
+        let files = wire_files(&["format_version", "endpoint"], 1);
+        let doc = "## Serve\n\n\
+                   Every response is a `serve-envelope` (format_version 1) with\n\
+                   `format_version` and `endpoint`.\n\n more prose";
+        assert!(wire_schema(&files, doc).is_empty());
+    }
+
+    #[test]
+    fn wire_schema_flags_both_directions_and_version_drift() {
+        let files = wire_files(&["format_version", "endpoint"], 2);
+        let doc = "Every response is a `serve-envelope` (format_version 1) with\n\
+                   `format_version` and `bogus_field`.\n";
+        let hits = wire_schema(&files, doc);
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        assert!(hits.iter().all(|h| h.rule == "wire-schema" && h.file == "DESIGN.md"));
+        assert!(hits.iter().any(|h| h.message.contains("format_version 1")
+            && h.message.contains("WIRE_VERSION is 2")));
+        assert!(hits.iter().any(|h| h.message.contains("`bogus_field`")));
+        assert!(hits.iter().any(|h| h.message.contains("`endpoint`")
+            && h.message.contains("does not document")));
+    }
+
+    #[test]
+    fn wire_schema_requires_documentation_when_code_exists() {
+        let files = wire_files(&["format_version"], 1);
+        let hits = wire_schema(&files, "# DESIGN\n\nno schema here\n");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("serve::wire"));
+        assert!(hits[0].message.contains("never documents"));
+        assert!(wire_schema(&BTreeMap::new(), "anything").is_empty());
     }
 
     #[test]

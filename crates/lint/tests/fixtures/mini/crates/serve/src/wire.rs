@@ -1,0 +1,8 @@
+//! Mini wire module: schema constants for the wire-schema rule.
+
+pub const WIRE_VERSION: u64 = 1;
+
+pub const WIRE_FIELDS: [&str; 2] = [
+    "format_version",
+    "status",
+];

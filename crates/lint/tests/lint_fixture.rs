@@ -27,10 +27,11 @@ fn every_rule_flags_its_seeded_violation() {
         .iter()
         .map(|f| (f.raw.rule, f.raw.file.as_str(), f.raw.line, f.status))
         .collect();
-    let expected: [(&str, &str, usize, Status); 11] = [
+    let expected: [(&str, &str, usize, Status); 12] = [
         ("design-constants", "DESIGN.md", 3, Status::New),
         ("manifest-schema", "DESIGN.md", 6, Status::New),
         ("bench-schema", "DESIGN.md", 10, Status::New),
+        ("wire-schema", "DESIGN.md", 15, Status::New),
         ("hash-collections", "crates/a/src/lib.rs", 4, Status::New),
         ("time-source", "crates/a/src/lib.rs", 7, Status::New),
         ("cast-truncation", "crates/a/src/lib.rs", 8, Status::New),
@@ -41,7 +42,7 @@ fn every_rule_flags_its_seeded_violation() {
         ("probe-coverage", "crates/util/src/probe.rs", 8, Status::New),
     ];
     assert_eq!(hits, expected, "fixture findings drifted");
-    assert_eq!(report.new_count(), 9);
+    assert_eq!(report.new_count(), 10);
     assert!(report.stale.is_empty());
 }
 
@@ -62,6 +63,7 @@ fn fixture_messages_name_the_offender() {
     assert!(msg("design-constants").contains("tFAW"));
     assert!(msg("manifest-schema").contains("missing_field"));
     assert!(msg("bench-schema").contains("stale_field"));
+    assert!(msg("wire-schema").contains("missing_wire_field"));
     assert!(msg("cast-truncation").contains("end_cycle"));
 }
 
@@ -108,12 +110,13 @@ fn lint_json_is_parseable_and_self_consistent() {
 fn regenerated_ratchet_covers_all_non_pragma_findings() {
     let report = lint_fixture();
     let content = report.ratchet_content();
-    // 10 non-pragma findings across 6 (rule, file) groups.
+    // 11 non-pragma findings across 7 (rule, file) groups.
     assert!(content.contains("panic-in-lib crates/a/src/lib.rs 2"));
     assert!(content.contains("hash-collections crates/a/src/lib.rs 1"));
     assert!(content.contains("design-constants DESIGN.md 1"));
     assert!(content.contains("manifest-schema DESIGN.md 1"));
     assert!(content.contains("bench-schema DESIGN.md 1"));
+    assert!(content.contains("wire-schema DESIGN.md 1"));
     assert!(content.contains("probe-coverage crates/util/src/probe.rs 1"));
     // Pragma-allowed findings never enter the ratchet.
     assert!(!content.contains("hash-collections crates/a/src/lib.rs 2"));

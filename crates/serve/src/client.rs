@@ -1,0 +1,44 @@
+//! Client-side helpers: one-shot request exchange over TCP and the
+//! latency-percentile math the `tdc serve --bench` load generator
+//! reports with.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use tdc_util::http::{read_response, write_request, Request, Response};
+
+/// Sends one request to `addr` (`host:port`) and reads the response.
+/// One connection per exchange, matching the server's `Connection:
+/// close` discipline.
+pub fn exchange(addr: &str, req: &Request) -> Result<Response, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    write_request(&mut &stream, req).map_err(|e| format!("send to {addr}: {e}"))?;
+    read_response(&mut BufReader::new(&stream))
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice; `p` in
+/// `[0, 100]`. Returns `0.0` for an empty slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 90.0), 90.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+}

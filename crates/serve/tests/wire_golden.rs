@@ -1,0 +1,173 @@
+//! Golden-filed wire-format tests: one request/response byte pair per
+//! endpoint, plus the negative paths (malformed JSON, unknown figure,
+//! version mismatch, saturated queue).
+//!
+//! Each case runs against a fresh server over a deterministic mock
+//! engine, so the exact bytes that cross the wire are a pure function
+//! of the request — which is what lets them live in `tests/golden/`
+//! (regenerate with `TDC_UPDATE_GOLDEN=1 cargo test -p tdc-serve
+//! --test wire_golden`).
+
+use std::fs;
+use std::path::PathBuf;
+use tdc_serve::{CacheStats, Engine, Server, ServerConfig};
+use tdc_util::http::{write_request, write_response, Request};
+use tdc_util::Json;
+
+/// Deterministic two-figure mock: `figA` = {cell:a, cell:b},
+/// `figB` = {cell:b}; no timing, no randomness.
+struct MockEngine;
+
+impl Engine for MockEngine {
+    fn figure_ids(&self) -> Vec<String> {
+        vec!["figA".into(), "figB".into()]
+    }
+    fn figure_keys(&self, id: &str) -> Option<Vec<String>> {
+        match id {
+            "figA" => Some(vec!["cell:a".into(), "cell:b".into()]),
+            "figB" => Some(vec!["cell:b".into()]),
+            _ => None,
+        }
+    }
+    fn has_key(&self, key: &str) -> bool {
+        key == "cell:a" || key == "cell:b"
+    }
+    fn key_count(&self) -> usize {
+        2
+    }
+    fn execute(&self, key: &str) -> Result<Json, String> {
+        Ok(Json::obj([
+            ("key", Json::from(key)),
+            ("value", Json::from(key.len() as u64)),
+        ]))
+    }
+    fn figure(&self, id: &str) -> Result<Json, String> {
+        Ok(Json::obj([
+            ("id", Json::from(id)),
+            ("cells", Json::from(self.figure_keys(id).map_or(0, |k| k.len()))),
+        ]))
+    }
+    fn preload(&self, _key: &str, _report: &Json) -> Result<(), String> {
+        Ok(())
+    }
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
+}
+
+fn server(queue: usize) -> Server<MockEngine> {
+    Server::new(MockEngine, ServerConfig { jobs: 1, queue }, None)
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/{name}"))
+}
+
+/// Compares `bytes` against the named golden file (or rewrites it
+/// under `TDC_UPDATE_GOLDEN=1`).
+fn assert_golden(name: &str, bytes: &[u8]) {
+    let path = golden_path(name);
+    if std::env::var_os("TDC_UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        fs::write(&path, bytes).expect("write golden");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let want = fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden {} ({e}); regenerate with TDC_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        String::from_utf8_lossy(&want),
+        String::from_utf8_lossy(bytes),
+        "{name} drifted from golden; if intentional, regenerate with \
+         TDC_UPDATE_GOLDEN=1 cargo test -p tdc-serve --test wire_golden"
+    );
+}
+
+/// Runs one case end to end: pins the request bytes, handles it on a
+/// fresh server, pins the response bytes, and returns the status.
+fn golden_case(name: &str, srv: &Server<MockEngine>, req: &Request) -> u16 {
+    let mut req_bytes = Vec::new();
+    write_request(&mut req_bytes, req).expect("serialize request");
+    assert_golden(&format!("{name}.request.http"), &req_bytes);
+
+    let resp = srv.handle(req);
+    let mut resp_bytes = Vec::new();
+    write_response(&mut resp_bytes, &resp).expect("serialize response");
+    assert_golden(&format!("{name}.response.http"), &resp_bytes);
+    resp.status
+}
+
+fn sweep_body(keys: &[&str], figures: &[&str]) -> Vec<u8> {
+    let keys: Vec<String> = keys.iter().map(|s| s.to_string()).collect();
+    let figures: Vec<String> = figures.iter().map(|s| s.to_string()).collect();
+    tdc_serve::sweep_request(&keys, &figures).pretty().into_bytes()
+}
+
+#[test]
+fn sweep_ok() {
+    let req = Request::new("POST", "/sweep", sweep_body(&["cell:a"], &["figB"]));
+    assert_eq!(golden_case("sweep_ok", &server(4), &req), 200);
+}
+
+#[test]
+fn figure_ok() {
+    let req = Request::new("GET", "/figure/figA", Vec::new());
+    assert_eq!(golden_case("figure_ok", &server(4), &req), 200);
+}
+
+#[test]
+fn status_ok() {
+    let req = Request::new("GET", "/status", Vec::new());
+    assert_eq!(golden_case("status_ok", &server(4), &req), 200);
+}
+
+#[test]
+fn metrics_ok() {
+    let req = Request::new("GET", "/metrics", Vec::new());
+    assert_eq!(golden_case("metrics_ok", &server(4), &req), 200);
+}
+
+#[test]
+fn shutdown_ok() {
+    let req = Request::new("POST", "/shutdown", Vec::new());
+    let srv = server(4);
+    assert_eq!(golden_case("shutdown_ok", &srv, &req), 200);
+    assert!(srv.stopping());
+}
+
+#[test]
+fn malformed_json_is_400() {
+    let req = Request::new("POST", "/sweep", b"{not json".to_vec());
+    assert_eq!(golden_case("malformed_json", &server(4), &req), 400);
+}
+
+#[test]
+fn unknown_figure_is_404() {
+    let req = Request::new("POST", "/sweep", sweep_body(&[], &["figZ"]));
+    assert_eq!(golden_case("unknown_figure", &server(4), &req), 404);
+}
+
+#[test]
+fn version_mismatch_is_400() {
+    let body = Json::obj([
+        ("format_version", Json::from(99u64)),
+        ("keys", Json::Arr(vec![Json::from("cell:a")])),
+    ])
+    .pretty()
+    .into_bytes();
+    let req = Request::new("POST", "/sweep", body);
+    assert_eq!(golden_case("version_mismatch", &server(4), &req), 400);
+}
+
+#[test]
+fn saturated_queue_is_429_with_retry_after() {
+    let req = Request::new("POST", "/sweep", sweep_body(&["cell:a"], &[]));
+    let srv = server(0); // zero admission slots: always saturated
+    assert_eq!(golden_case("saturated_queue", &srv, &req), 429);
+    let resp = srv.handle(&req);
+    assert_eq!(resp.header("Retry-After"), Some("1"));
+}

@@ -1,0 +1,340 @@
+//! Minimal HTTP/1.1 plumbing over std streams.
+//!
+//! `tdc serve` speaks plain HTTP/1.1 over `std::net` with the same
+//! zero-external-dependency discipline as [`crate::json`]: a strict,
+//! hand-rolled reader/writer pair instead of a framework. The subset is
+//! deliberately small — one request per connection (`Connection:
+//! close`), `Content-Length` bodies only (no chunked encoding, no
+//! continuation lines), ASCII header names — which keeps the wire
+//! bytes deterministic enough to pin request/response pairs as golden
+//! files.
+//!
+//! One internal parser handles either side of the exchange (the start
+//! line is kept verbatim), so the server ([`read_request`]) and the
+//! load-generator client ([`read_response`]) share it.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on the start line plus headers (a defense against
+/// unbounded reads from a misbehaving peer, not a protocol limit).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a declared `Content-Length` body.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method verb, as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target, as sent (`/sweep`, `/figure/fig07`, ...).
+    pub target: String,
+    /// Header `(name, value)` pairs in wire order; names are
+    /// lower-cased on parse, values are trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// One parsed or to-be-written HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (`200`, `429`, ...).
+    pub status: u16,
+    /// Extra header `(name, value)` pairs; `Content-Length` and
+    /// `Connection: close` are appended by [`write_response`].
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response carrying `body` with the given status and a
+    /// `Content-Type` header.
+    pub fn new(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            headers: vec![("Content-Type".to_string(), content_type.to_string())],
+            body: body.into(),
+        }
+    }
+
+    /// The header value for `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_of(&self.headers, name)
+    }
+}
+
+impl Request {
+    /// A request with a body and an explicit `Content-Type` header.
+    pub fn new(method: &str, target: &str, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            method: method.to_string(),
+            target: target.to_string(),
+            headers: vec![("content-type".to_string(), "application/json".to_string())],
+            body: body.into(),
+        }
+    }
+
+    /// The header value for `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_of(&self.headers, name)
+    }
+}
+
+fn header_of<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+/// The standard reason phrase for the status codes the serve wire
+/// format uses (`"Unknown"` otherwise — the code still round-trips).
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// One parsed message head: the verbatim start line plus headers.
+struct Head {
+    start_line: String,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+/// Reads one HTTP/1.1 message (start line, headers, `Content-Length`
+/// body) from `stream`. `Err` carries a human-readable parse reason;
+/// an immediate EOF reports `"connection closed before request"`.
+fn read_message(stream: &mut impl BufRead) -> Result<Head, String> {
+    let start_line = read_line(stream, MAX_HEAD_BYTES)?
+        .ok_or_else(|| "connection closed before request".to_string())?;
+    if start_line.is_empty() {
+        return Err("empty start line".to_string());
+    }
+    let mut headers = Vec::new();
+    let mut head_bytes = start_line.len();
+    let mut content_length: usize = 0;
+    loop {
+        let line = read_line(stream, MAX_HEAD_BYTES)?
+            .ok_or_else(|| "connection closed inside headers".to_string())?;
+        head_bytes += line.len() + 2;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(format!("headers exceed {MAX_HEAD_BYTES} bytes"));
+        }
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed header line '{line}'"))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| format!("bad Content-Length '{value}'"))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(format!("body of {content_length} bytes exceeds {MAX_BODY_BYTES}"));
+            }
+        }
+        headers.push((name, value));
+    }
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| format!("short body read: {e}"))?;
+    Ok(Head {
+        start_line,
+        headers,
+        body,
+    })
+}
+
+/// Reads one CRLF-terminated line (LF tolerated). `Ok(None)` on clean
+/// EOF before any byte.
+fn read_line(stream: &mut impl BufRead, cap: usize) -> Result<Option<String>, String> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err("connection closed mid-line".to_string());
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    let line = String::from_utf8(buf)
+                        .map_err(|_| "non-UTF-8 header bytes".to_string())?;
+                    return Ok(Some(line));
+                }
+                buf.push(byte[0]);
+                if buf.len() > cap {
+                    return Err(format!("line exceeds {cap} bytes"));
+                }
+            }
+            Err(e) => return Err(format!("read error: {e}")),
+        }
+    }
+}
+
+/// Reads one HTTP request. `Err` carries the parse reason; callers
+/// distinguish a clean pre-request EOF by its fixed message
+/// ("connection closed before request").
+pub fn read_request(stream: &mut impl BufRead) -> Result<Request, String> {
+    let head = read_message(stream)?;
+    let mut parts = head.start_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| "missing method".to_string())?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| "missing request target".to_string())?
+        .to_string();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        other => return Err(format!("unsupported protocol {other:?}")),
+    }
+    Ok(Request {
+        method,
+        target,
+        headers: head.headers,
+        body: head.body,
+    })
+}
+
+/// Reads one HTTP response (the load-generator side).
+pub fn read_response(stream: &mut impl BufRead) -> Result<Response, String> {
+    let head = read_message(stream)?;
+    let mut parts = head.start_line.split_ascii_whitespace();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        other => return Err(format!("unsupported protocol {other:?}")),
+    }
+    let status = parts
+        .next()
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| "missing status code".to_string())?;
+    Ok(Response {
+        status,
+        headers: head.headers,
+        body: head.body,
+    })
+}
+
+/// Writes `resp` as one `Connection: close` HTTP/1.1 message. The
+/// output bytes are a pure function of the `Response` value (header
+/// order preserved, `Content-Length` computed last), which is what
+/// lets the serve tests pin responses as golden files.
+pub fn write_response(stream: &mut impl Write, resp: &Response) -> io::Result<()> {
+    let mut head = format!("HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status));
+    for (name, value) in &resp.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(&format!("Content-Length: {}\r\n", resp.body.len()));
+    head.push_str("Connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+/// Writes `req` as one `Connection: close` HTTP/1.1 message
+/// (deterministic bytes, same contract as [`write_response`]).
+pub fn write_request(stream: &mut impl Write, req: &Request) -> io::Result<()> {
+    let mut head = format!("{} {} HTTP/1.1\r\n", req.method, req.target);
+    for (name, value) in &req.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(&format!("Content-Length: {}\r\n", req.body.len()));
+    head.push_str("Connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&req.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn round_trip_request(req: &Request) -> Request {
+        let mut bytes = Vec::new();
+        write_request(&mut bytes, req).expect("write to vec");
+        read_request(&mut Cursor::new(bytes)).expect("parse back")
+    }
+
+    #[test]
+    fn request_round_trips_with_body() {
+        let req = Request::new("POST", "/sweep", br#"{"k":1}"#.to_vec());
+        let back = round_trip_request(&req);
+        assert_eq!(back.method, "POST");
+        assert_eq!(back.target, "/sweep");
+        assert_eq!(back.body, br#"{"k":1}"#);
+        assert_eq!(back.header("content-type"), Some("application/json"));
+        assert_eq!(back.header("Content-Length"), Some("7"));
+    }
+
+    #[test]
+    fn response_round_trips_and_reason_phrases() {
+        let resp = Response::new(429, "application/json", b"{}".to_vec());
+        let mut bytes = Vec::new();
+        write_response(&mut bytes, &resp).expect("write to vec");
+        let text = String::from_utf8(bytes.clone()).expect("ascii");
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"));
+        let back = read_response(&mut Cursor::new(bytes)).expect("parse back");
+        assert_eq!(back.status, 429);
+        assert_eq!(back.body, b"{}");
+    }
+
+    #[test]
+    fn clean_eof_is_distinguishable() {
+        let err = read_request(&mut Cursor::new(Vec::<u8>::new())).unwrap_err();
+        assert!(err.contains("closed before request"), "{err}");
+    }
+
+    #[test]
+    fn malformed_heads_are_rejected() {
+        let cases: [&[u8]; 3] = [
+            b"GET /x\r\n\r\n",                          // no protocol
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n", // bad header
+            b"GET /x HTTP/1.1\r\nContent-Length: zz\r\n\r\n", // bad length
+        ];
+        for case in cases {
+            assert!(read_request(&mut Cursor::new(case.to_vec())).is_err());
+        }
+    }
+
+    #[test]
+    fn short_body_is_an_error_not_a_truncation() {
+        let bytes = b"POST /s HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc".to_vec();
+        let err = read_request(&mut Cursor::new(bytes)).unwrap_err();
+        assert!(err.contains("short body"), "{err}");
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected() {
+        let head = format!("POST /s HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        let err = read_request(&mut Cursor::new(head.into_bytes())).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+}

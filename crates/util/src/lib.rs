@@ -26,6 +26,9 @@
 //! * [`pool`] — a generic scoped worker pool ([`run_tasks`]) shared by
 //!   the experiment harness and the lint pass; results come back in
 //!   input order regardless of thread count.
+//! * [`http`] — minimal HTTP/1.1 request/response plumbing over std
+//!   streams (strict parser, deterministic writer), the transport
+//!   under `tdc serve` and its load generator.
 //!
 //! # Examples
 //!
@@ -41,6 +44,7 @@
 
 pub mod dist;
 pub mod hash;
+pub mod http;
 pub mod json;
 pub mod mem;
 pub mod pool;
