@@ -7,7 +7,7 @@ use tdc_dram_cache::{
     BankInterleave, Ideal, L3System, NoL3, SramTagCache, SystemParams, TaglessCache, VictimPolicy,
 };
 use tdc_sram_cache::TagArrayModel;
-use tdc_util::probe::{NoProbe, Probe};
+use tdc_util::probe::{NoProbe, Phase, Probe};
 use tdc_util::PAGE_SIZE;
 use tdc_trace::{page_access_counts, profiles, ParsecTraces, SyntheticWorkload, TraceSource, WorkloadProfile};
 
@@ -200,8 +200,16 @@ fn run_system<P: Probe>(
     is_sram: bool,
 ) -> RunReport {
     let cores = sys.run(cfg.warmup_refs, cfg.measured_refs);
+    // Report assembly is bookkeeping time too.
+    if sys.probe_mut().prof_enabled() {
+        sys.probe_mut().phase_begin(Phase::Bookkeeping);
+    }
     let name = sys.l3().name().to_string();
-    finish(sys.l3(), &name, workload, cores, cfg.cache_bytes, is_sram)
+    let report = finish(sys.l3(), &name, workload, cores, cfg.cache_bytes, is_sram);
+    if sys.probe_mut().prof_enabled() {
+        sys.probe_mut().phase_end(Phase::Bookkeeping);
+    }
+    report
 }
 
 /// Builds `org` with `probe` installed where the organization supports
@@ -232,13 +240,23 @@ fn run_single_with<P: Probe + Clone + 'static>(
     bench: &str,
     org: OrgKind,
     cfg: &RunConfig,
-    probe: P,
+    mut probe: P,
 ) -> Option<RunReport> {
+    if probe.prof_enabled() {
+        probe.phase_begin(Phase::Bookkeeping);
+    }
     let profile = scaled(profiles::spec(bench)?);
     let params = cfg.params(1, vec![0]);
     let trace: Box<dyn TraceSource> =
         Box::new(SyntheticWorkload::new(profile.clone(), cfg.seed, 0));
-    let sys = System::with_probe(build_probed(org, &params, probe.clone()), vec![trace], probe);
+    let sys = System::with_probe(
+        build_probed(org, &params, probe.clone()),
+        vec![trace],
+        probe.clone(),
+    );
+    if probe.prof_enabled() {
+        probe.phase_end(Phase::Bookkeeping);
+    }
     Some(run_system(sys, profile.name, cfg, org == OrgKind::SramTag))
 }
 
@@ -253,8 +271,11 @@ fn run_mix_with<P: Probe + Clone + 'static>(
     mix_name: &str,
     org: OrgKind,
     cfg: &RunConfig,
-    probe: P,
+    mut probe: P,
 ) -> Option<RunReport> {
+    if probe.prof_enabled() {
+        probe.phase_begin(Phase::Bookkeeping);
+    }
     let four = profiles::mix(mix_name)?;
     let params = cfg.params(4, vec![0, 1, 2, 3]);
     let traces: Vec<Box<dyn TraceSource>> = four
@@ -268,7 +289,14 @@ fn run_mix_with<P: Probe + Clone + 'static>(
             ))
         })
         .collect();
-    let sys = System::with_probe(build_probed(org, &params, probe.clone()), traces, probe);
+    let sys = System::with_probe(
+        build_probed(org, &params, probe.clone()),
+        traces,
+        probe.clone(),
+    );
+    if probe.prof_enabled() {
+        probe.phase_end(Phase::Bookkeeping);
+    }
     Some(run_system(
         sys,
         &mix_name.to_uppercase(),
@@ -289,14 +317,24 @@ fn run_parsec_with<P: Probe + Clone + 'static>(
     bench: &str,
     org: OrgKind,
     cfg: &RunConfig,
-    probe: P,
+    mut probe: P,
 ) -> Option<RunReport> {
+    if probe.prof_enabled() {
+        probe.phase_begin(Phase::Bookkeeping);
+    }
     let parsec = ParsecTraces::with_profile(scaled(profiles::parsec(bench)?), cfg.seed);
     let params = cfg.params(4, vec![0; 4]);
     let traces: Vec<Box<dyn TraceSource>> = (0..parsec.threads())
         .map(|t| -> Box<dyn TraceSource> { Box::new(parsec.thread(t)) })
         .collect();
-    let sys = System::with_probe(build_probed(org, &params, probe.clone()), traces, probe);
+    let sys = System::with_probe(
+        build_probed(org, &params, probe.clone()),
+        traces,
+        probe.clone(),
+    );
+    if probe.prof_enabled() {
+        probe.phase_end(Phase::Bookkeeping);
+    }
     Some(run_system(
         sys,
         parsec.profile().name,
@@ -317,8 +355,11 @@ fn run_single_tagless_nc_with<P: Probe + Clone + 'static>(
     bench: &str,
     cfg: &RunConfig,
     threshold: u64,
-    probe: P,
+    mut probe: P,
 ) -> Option<RunReport> {
+    if probe.prof_enabled() {
+        probe.phase_begin(Phase::Bookkeeping);
+    }
     let profile = scaled(profiles::spec(bench)?);
     let params = cfg.params(1, vec![0]);
     let mut l3 = TaglessCache::with_probe(&params, VictimPolicy::Fifo, probe.clone());
@@ -337,7 +378,10 @@ fn run_single_tagless_nc_with<P: Probe + Clone + 'static>(
 
     let trace: Box<dyn TraceSource> =
         Box::new(SyntheticWorkload::new(profile.clone(), cfg.seed, 0));
-    let sys = System::with_probe(Box::new(l3), vec![trace], probe);
+    let sys = System::with_probe(Box::new(l3), vec![trace], probe.clone());
+    if probe.prof_enabled() {
+        probe.phase_end(Phase::Bookkeeping);
+    }
     let mut report = run_system(sys, profile.name, cfg, false);
     report.org = "cTLB+NC".to_string();
     Some(report)

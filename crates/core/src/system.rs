@@ -9,7 +9,7 @@ use crate::core_model::{CoreParams, CoreState};
 use tdc_dram_cache::{Frame, L3System};
 use tdc_sram_cache::{CacheGeometry, Replacement, SetAssocCache};
 use tdc_trace::TraceSource;
-use tdc_util::probe::{NoProbe, Probe, ProbeEvent};
+use tdc_util::probe::{NoProbe, Phase, Probe, ProbeEvent};
 use tdc_util::Cycle;
 
 /// On-die cache latencies (paper Table 3).
@@ -144,6 +144,11 @@ impl<P: Probe> System<P> {
         self.cores.len()
     }
 
+    /// The system-level probe, for report-assembly phase spans.
+    pub(crate) fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
     /// Processes one reference on core `i`.
     fn step(&mut self, i: usize) {
         let r = self.cores[i].trace.next_ref();
@@ -162,7 +167,13 @@ impl<P: Probe> System<P> {
         }
 
         // Translation (cTLB or conventional TLB).
+        if self.probe.prof_enabled() {
+            self.probe.phase_begin(Phase::Translation);
+        }
         let tr = self.l3.translate(now, i, r.vaddr.page(), r.is_write);
+        if self.probe.prof_enabled() {
+            self.probe.phase_end(Phase::Translation);
+        }
         let ctx = &mut self.cores[i];
         if tr.penalty > 0 {
             ctx.core.tlb_stall(tr.penalty);
@@ -207,7 +218,13 @@ impl<P: Probe> System<P> {
         }
         if let Some(vline) = l2_dirty_victim {
             let (frame, vblock) = Frame::from_line_addr(vline << 6);
+            if self.probe.prof_enabled() {
+                self.probe.phase_begin(Phase::CacheAccess);
+            }
             self.l3.writeback(now, i, frame, false, vblock);
+            if self.probe.prof_enabled() {
+                self.probe.phase_end(Phase::CacheAccess);
+            }
         }
         let ctx = &mut self.cores[i];
         if l2.hit {
@@ -234,7 +251,13 @@ impl<P: Probe> System<P> {
             );
         }
         let now = ctx.core.clock();
+        if self.probe.prof_enabled() {
+            self.probe.phase_begin(Phase::CacheAccess);
+        }
         let m = self.l3.access(now, i, tr.frame, tr.nc, block);
+        if self.probe.prof_enabled() {
+            self.probe.phase_end(Phase::CacheAccess);
+        }
         self.cores[i]
             .core
             .record_miss_completion(now + m.latency + L2_HIT_CYCLES);
@@ -245,6 +268,13 @@ impl<P: Probe> System<P> {
     /// time order.
     pub fn run(&mut self, warmup: u64, measured: u64) -> Vec<CoreResult> {
         let total = warmup + measured;
+        // One Bookkeeping span covers the whole run loop: the nested
+        // Translation/CacheAccess (and deeper) spans subtract their own
+        // time, so whatever remains — trace generation, core clocks,
+        // the min-clock scan — is attributed to bookkeeping.
+        if self.probe.prof_enabled() {
+            self.probe.phase_begin(Phase::Bookkeeping);
+        }
         // Warmup phase.
         self.run_until(warmup);
         self.l3.reset_stats();
@@ -253,6 +283,9 @@ impl<P: Probe> System<P> {
         }
         // Measured phase.
         self.run_until(total);
+        if self.probe.prof_enabled() {
+            self.probe.phase_end(Phase::Bookkeeping);
+        }
         self.cores
             .iter()
             .map(|c| {

@@ -30,7 +30,7 @@ use crate::slots::{SlotRing, VictimPolicy};
 use std::collections::BTreeMap;
 use tdc_dram::{AccessKind, DramController, DramStats};
 use tdc_tlb::{walk_addresses, PageTable, TlbEntry, Translation};
-use tdc_util::probe::{Device, NoProbe, Probe, ProbeEvent};
+use tdc_util::probe::{Device, NoProbe, Phase, Probe, ProbeEvent};
 use tdc_util::{Cpn, Cycle, Vpn, PAGE_SIZE};
 
 /// Physical region backing the GIPT itself (its updates are real
@@ -261,10 +261,16 @@ impl<P: Probe> TaglessCache<P> {
             !self.ring.is_live(cpn),
             "eviction must run after pop_eviction freed slot {cpn:?}"
         );
+        if self.probe.prof_enabled() {
+            self.probe.phase_begin(Phase::Gipt);
+        }
         let entry = self
             .gipt
             .remove(cpn)
             .expect("evicting slot must have a GIPT entry");
+        if self.probe.prof_enabled() {
+            self.probe.phase_end(Phase::Gipt);
+        }
         if dirty {
             // Read the page from in-package and write it off-package.
             let rd = self
@@ -412,6 +418,9 @@ impl<P: Probe> TaglessCache<P> {
         // GIPT insert, charged conservatively as two full off-package
         // memory writes (§3.4) unless the ablation knob disabled the
         // charge.
+        if self.probe.prof_enabled() {
+            self.probe.phase_begin(Phase::Gipt);
+        }
         let displaced = self.gipt.insert(
             cpn,
             GiptEntry {
@@ -443,6 +452,9 @@ impl<P: Probe> TaglessCache<P> {
         self.stats.gipt_updates += 1;
         if self.probe.enabled() {
             self.probe.emit(t, ProbeEvent::GiptInsert { slot: cpn.0 });
+        }
+        if self.probe.prof_enabled() {
+            self.probe.phase_end(Phase::Gipt);
         }
 
         // Page copy: off-package read (critical block first), in-package
@@ -642,7 +654,13 @@ impl<P: Probe> L3System for TaglessCache<P> {
         vpn: Vpn,
         _is_write: bool,
     ) -> TranslationOutcome {
+        if self.probe.prof_enabled() {
+            self.probe.phase_begin(Phase::Ctlb);
+        }
         let q = self.mmus[core].lookup_at(now, vpn);
+        if self.probe.prof_enabled() {
+            self.probe.phase_end(Phase::Ctlb);
+        }
         match q {
             TlbQuery::L1Hit(e) | TlbQuery::L2Hit(e) => {
                 let penalty = match q {
@@ -679,7 +697,13 @@ impl<P: Probe> L3System for TaglessCache<P> {
                     Frame::Cache(cpn) => TlbEntry::cache(cpn, false),
                     Frame::Phys(ppn) => TlbEntry::physical(ppn, nc),
                 };
+                if self.probe.prof_enabled() {
+                    self.probe.phase_begin(Phase::Ctlb);
+                }
                 self.mmus[core].insert_at(done, vpn, entry);
+                if self.probe.prof_enabled() {
+                    self.probe.phase_end(Phase::Ctlb);
+                }
                 TranslationOutcome {
                     frame,
                     nc,

@@ -9,7 +9,7 @@
 //! command-level simulation.
 
 use crate::config::DramConfig;
-use tdc_util::probe::{Device, NoProbe, Probe, ProbeEvent, RowEvent};
+use tdc_util::probe::{Device, NoProbe, Phase, Probe, ProbeEvent, RowEvent};
 use tdc_util::Cycle;
 
 /// Whether an access reads or writes the device.
@@ -179,6 +179,9 @@ impl<P: Probe> DramController<P> {
     /// Panics if `bytes` is zero.
     pub fn access(&mut self, now: Cycle, addr: u64, kind: AccessKind, bytes: u64) -> Completion {
         assert!(bytes > 0, "DRAM access must transfer at least one byte");
+        if self.probe.prof_enabled() {
+            self.probe.phase_begin(Phase::Dram);
+        }
         let (channel, bank_idx, row) = self.config.map_addr(addr);
         let t = self.config.timing;
         let bank = &mut self.banks[bank_idx as usize];
@@ -264,6 +267,9 @@ impl<P: Probe> DramController<P> {
             );
         }
 
+        if self.probe.prof_enabled() {
+            self.probe.phase_end(Phase::Dram);
+        }
         Completion {
             first_data,
             done,

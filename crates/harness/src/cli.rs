@@ -48,6 +48,10 @@ COMMANDS:
     trace <workload>/<org>
                 Run one cell with probes on; export interval telemetry
                 and a Chrome/Perfetto trace ('tdc trace -h' for options)
+    prof <workload>/<org>
+                Run one probed cell and report where its wall time goes
+                (translation/cTLB/GIPT/cache/DRAM/bookkeeping) plus a
+                machine-readable prof.json ('tdc prof -h')
     diff <baseline-dir>
                 Regenerate figures and compare against a checked-in
                 baseline; exit non-zero on drift ('tdc diff -h')
@@ -157,6 +161,7 @@ fn config(opts: &Options) -> RunConfig {
 pub fn run(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
         Some("trace") => return crate::trace::run(&args[1..]),
+        Some("prof") => return crate::prof::run(&args[1..]),
         Some("diff") => return crate::diff::run(&args[1..]),
         Some("shard") => return crate::shard::run(&args[1..]),
         Some("merge") => return crate::merge::run(&args[1..]),
@@ -250,6 +255,7 @@ pub fn run(args: &[String]) -> i32 {
                 return 1;
             }
         }
+        let pools = harness.pool_batches();
         match write_metrics(
             dir,
             &stats,
@@ -257,12 +263,28 @@ pub fn run(args: &[String]) -> i32 {
             opts.jobs,
             wall.as_secs_f64(),
             &harness.timings(),
+            &pools,
         ) {
             Ok(path) => eprintln!("tdc: wrote {}", path.display()),
             Err(e) => {
                 eprintln!("tdc: failed to write metrics under {}: {e}", dir.display());
                 return 1;
             }
+        }
+        // Perfetto pool track: one process per batch, one thread per
+        // worker. Only written when something actually ran (a fully
+        // warm-started invocation has no schedule to show).
+        if pools.iter().any(|(t, _)| !t.spans.is_empty()) {
+            let trace_dir = dir.join("trace");
+            let path = trace_dir.join("pool.trace.json");
+            let doc = tdc_util::obs::pool_trace_json(&pools);
+            if let Err(e) = std::fs::create_dir_all(&trace_dir)
+                .and_then(|()| std::fs::write(&path, doc.to_compact()))
+            {
+                eprintln!("tdc: failed to write pool trace: {e}");
+                return 1;
+            }
+            eprintln!("tdc: wrote {}", path.display());
         }
     }
 

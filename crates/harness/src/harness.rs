@@ -37,6 +37,7 @@ pub struct Harness {
     hits: AtomicUsize,
     busy_ns: AtomicU64,
     timings: Mutex<Vec<(String, f64)>>,
+    pools: Mutex<Vec<(tdc_util::obs::PoolTelemetry, Vec<String>)>>,
 }
 
 impl Harness {
@@ -52,6 +53,7 @@ impl Harness {
             hits: AtomicUsize::new(0),
             busy_ns: AtomicU64::new(0),
             timings: Mutex::new(Vec::new()),
+            pools: Mutex::new(Vec::new()),
         }
     }
 
@@ -111,6 +113,14 @@ impl Harness {
         t
     }
 
+    /// Scheduler telemetry of every worker-pool batch run so far, with
+    /// the job labels of that batch (indexed by task order). Like the
+    /// timings, this is wall-clock telemetry for `results/metrics.json`
+    /// and the Perfetto pool track — excluded from determinism checks.
+    pub fn pool_batches(&self) -> Vec<(tdc_util::obs::PoolTelemetry, Vec<String>)> {
+        self.pools.lock().expect("pools lock").clone()
+    }
+
     /// Runs every job in `jobs`, returning reports in input order.
     ///
     /// Cells already in the cache are returned immediately; the distinct
@@ -143,11 +153,17 @@ impl Harness {
         if !missing.is_empty() {
             let batch: Vec<Job> = missing.iter().map(|(_, j)| j.clone()).collect();
             let verbose = self.verbose;
-            let completed = pool::run_batch(&batch, self.threads, &|done, total, label, took| {
-                if verbose {
-                    eprintln!("[{done:>4}/{total}] {label:<40} {:>8.2}s", took.as_secs_f64());
-                }
-            });
+            let (completed, telemetry) =
+                pool::run_batch_telemetry(&batch, self.threads, &|done, total, label, took| {
+                    if verbose {
+                        eprintln!("[{done:>4}/{total}] {label:<40} {:>8.2}s", took.as_secs_f64());
+                    }
+                });
+            let labels: Vec<String> = batch.iter().map(Job::label).collect();
+            self.pools
+                .lock()
+                .expect("pools lock")
+                .push((telemetry, labels));
             self.executed.fetch_add(completed.len(), Ordering::Relaxed);
             for ((key, job), done) in missing.into_iter().zip(completed) {
                 self.busy_ns

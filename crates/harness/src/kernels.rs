@@ -34,6 +34,7 @@ use tdc_dram::{AccessKind, DramConfig, DramController};
 use tdc_dram_cache::{L3System, SramTagCache, SystemParams, TaglessCache, VictimPolicy};
 use tdc_sram_cache::{CacheGeometry, Replacement, SetAssocCache};
 use tdc_trace::{profiles, SyntheticWorkload, TraceSource};
+use tdc_util::obs::LogHistogram;
 use tdc_util::{Pcg32, Rng, Vpn, Zipf};
 
 /// The stability contract: medians of the two most recent
@@ -224,6 +225,12 @@ pub fn micro_kernels() -> Vec<Kernel> {
             iters: 500_000,
             factory: k_serve_warm_hit,
         },
+        Kernel {
+            group: "obs",
+            name: "hist_record_merge",
+            iters: 2_000_000,
+            factory: k_hist_record_merge,
+        },
     ]
 }
 
@@ -413,6 +420,30 @@ fn k_serve_warm_hit() -> Box<dyn FnMut() -> u64> {
         let _ = server.handle(&req);
     }
     Box::new(move || server.handle(&req).body.len() as u64)
+}
+
+/// The observability layer's hot path (DESIGN.md §13): record a
+/// latency sample into a per-worker shard histogram, folding the shard
+/// into a global histogram every 1024 samples — the same
+/// record-locally/merge-centrally pattern the pool telemetry and the
+/// serve latency metrics use. Returns the running p99 at each merge so
+/// the quantile walk is part of the measured cost.
+fn k_hist_record_merge() -> Box<dyn FnMut() -> u64> {
+    let mut shard = LogHistogram::new();
+    let mut global = LogHistogram::new();
+    let mut rng = Pcg32::seed_from_u64(6);
+    let mut n = 0u64;
+    Box::new(move || {
+        shard.record(rng.gen_range(1 << 20));
+        n += 1;
+        if n.is_multiple_of(1024) {
+            global.merge(&shard);
+            shard = LogHistogram::new();
+            global.quantile(0.99)
+        } else {
+            shard.count()
+        }
+    })
 }
 
 #[cfg(test)]

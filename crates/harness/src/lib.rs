@@ -26,6 +26,9 @@
 //!   `tdc list`.
 //! * [`trace`] — `tdc trace <workload>/<org>`: one probed cell,
 //!   exporting interval telemetry and a Chrome/Perfetto trace.
+//! * [`prof`] — `tdc prof <workload>/<org>`: wall-time phase
+//!   attribution for one probed cell (DESIGN.md §13), as a table plus
+//!   `results/prof.json`.
 //! * [`diff`] — `tdc diff <baseline-dir>`: regression gating against a
 //!   checked-in figure snapshot (non-zero exit on drift).
 //! * [`shard`] — `tdc shard K/N`: run one hash-partitioned slice of
@@ -67,6 +70,7 @@ pub mod figures;
 pub mod harness;
 pub mod merge;
 pub mod pool;
+pub mod prof;
 pub mod serve;
 pub mod shard;
 pub mod sink;

@@ -398,6 +398,7 @@ fn execute(opts: &MergeOptions) -> Result<usize, String> {
         0,
         start.elapsed().as_secs_f64(),
         &harness.timings(),
+        &harness.pool_batches(),
     )
     .map_err(|e| format!("cannot write metrics under {}: {e}", opts.out.display()))?;
     if !opts.quiet {

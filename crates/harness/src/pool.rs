@@ -45,6 +45,29 @@ pub fn run_batch(
     })
 }
 
+/// Like [`run_batch`], additionally returning the scheduler telemetry
+/// ([`tdc_util::obs::PoolTelemetry`]) the underlying pool collected:
+/// per-worker busy/idle time, queue-depth samples, and per-task spans
+/// for the Perfetto pool track. Results are identical to
+/// [`run_batch`]'s — the telemetry is a side channel about the
+/// schedule, never an input to any job.
+pub fn run_batch_telemetry(
+    jobs: &[Job],
+    threads: usize,
+    progress: &(dyn Fn(usize, usize, &str, Duration) + Sync),
+) -> (Vec<Completed>, tdc_util::obs::PoolTelemetry) {
+    let total = jobs.len();
+    let done = AtomicUsize::new(0);
+    tdc_util::pool::run_tasks_telemetry(jobs, threads, |_, job| {
+        let start = Instant::now(); // tdc-lint: allow(time-source)
+        let result = job.execute();
+        let elapsed = start.elapsed();
+        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+        progress(finished, total, &job.label(), elapsed);
+        Completed { result, elapsed }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

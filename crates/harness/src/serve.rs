@@ -126,6 +126,7 @@ impl Engine for PlanEngine {
 struct Options {
     addr: String,
     cache_dir: Option<std::path::PathBuf>,
+    events: Option<std::path::PathBuf>,
     jobs: usize,
     queue: usize,
     scale: Option<f64>,
@@ -150,6 +151,9 @@ DAEMON OPTIONS:
                        picks an ephemeral port, echoed on stdout)
     --cache-dir DIR    Persist results to a content-addressed store and
                        warm-start from it (shared with 'tdc all --cache-dir')
+    --events PATH      Write span-correlated structured events (JSONL,
+                       DESIGN.md §13) for every request, e.g.
+                       results/events.jsonl
     --jobs N           Simulation worker threads per sweep
     --queue N          Admission-queue capacity; beyond it requests get
                        429 + Retry-After (default: 32)
@@ -163,6 +167,8 @@ ENDPOINTS:
     GET  /figure/<id>  Materialize and return one figure document
     GET  /status       Plan size, warm-cell count, queue occupancy
     GET  /metrics      Request/work counters, per-request epochs
+    GET  /metrics.prom Same counters + latency histogram, Prometheus
+                       text exposition format
     POST /shutdown     Stop accepting connections and exit
 
 BENCH OPTIONS (with --bench):
@@ -182,6 +188,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         addr: "127.0.0.1:7943".to_string(),
         cache_dir: None,
+        events: None,
         jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         queue: 32,
         scale: None,
@@ -203,6 +210,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "--addr" => opts.addr = value("--addr")?,
             "--cache-dir" => opts.cache_dir = Some(value("--cache-dir")?.into()),
+            "--events" => opts.events = Some(value("--events")?.into()),
             "--jobs" => {
                 opts.jobs = value("--jobs")?
                     .parse::<usize>()
@@ -293,14 +301,24 @@ fn daemon(opts: &Options) -> i32 {
         },
         None => None,
     };
-    let server = Arc::new(Server::new(
+    let mut server = Server::new(
         engine,
         ServerConfig {
             jobs: opts.jobs,
             queue: opts.queue,
         },
         store,
-    ));
+    );
+    if let Some(path) = &opts.events {
+        match tdc_util::obs::EventLog::create(path) {
+            Ok(log) => server = server.with_event_log(log),
+            Err(e) => {
+                eprintln!("tdc serve: cannot open --events {}: {e}", path.display());
+                return 1;
+            }
+        }
+    }
+    let server = Arc::new(server);
     match server.warm_load() {
         Ok((loaded, skipped)) => {
             if !opts.quiet && (loaded > 0 || skipped > 0) {
@@ -393,8 +411,13 @@ fn bench(opts: &Options) -> i32 {
     println!("warm/cold throughput speedup: {speedup:.2}x");
 
     match fetch_dedup(&opts.addr) {
-        Ok((deduped, mem_hits)) => {
-            println!("server work counters: deduped={deduped} mem_hits={mem_hits}");
+        Ok(w) => {
+            // The "deduped=... mem_hits=..." prefix is a stable contract
+            // (scripts/ci.sh greps it); extensions append after it.
+            println!(
+                "server work counters: deduped={} mem_hits={} store_hits={} store_misses={} executed={}",
+                w.deduped, w.mem_hits, w.store_hits, w.store_misses, w.executed
+            );
         }
         Err(e) => eprintln!("tdc serve --bench: /metrics fetch failed: {e}"),
     }
@@ -454,17 +477,36 @@ fn report_pass(name: &str, pass: &Pass) {
     );
 }
 
-/// Reads `(deduped, mem_hits)` from the daemon's `/metrics`.
-fn fetch_dedup(addr: &str) -> Result<(u64, u64), String> {
+/// Work counters scraped from the daemon's `/metrics` after the warm
+/// pass (single-flight, cache, and store effectiveness).
+struct WorkCounters {
+    deduped: u64,
+    mem_hits: u64,
+    store_hits: u64,
+    store_misses: u64,
+    executed: u64,
+}
+
+/// Reads the work and store counters from the daemon's `/metrics`.
+fn fetch_dedup(addr: &str) -> Result<WorkCounters, String> {
     let resp = tdc_serve::exchange(addr, &Request::new("GET", "/metrics", Vec::new()))?;
     let text = std::str::from_utf8(&resp.body).map_err(|_| "non-UTF-8 body".to_string())?;
     let env = Json::parse(text).map_err(|e| format!("bad /metrics body: {e}"))?;
-    let work = env
-        .get("data")
-        .and_then(|d| d.get("work"))
-        .ok_or("no work counters in /metrics")?;
+    let data = env.get("data").ok_or("no data in /metrics")?;
+    let work = data.get("work").ok_or("no work counters in /metrics")?;
     let count = |name: &str| work.get(name).and_then(Json::as_u64).unwrap_or(0);
-    Ok((count("deduped"), count("mem_hits")))
+    let store_misses = data
+        .get("store")
+        .and_then(|s| s.get("misses"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    Ok(WorkCounters {
+        deduped: count("deduped"),
+        mem_hits: count("mem_hits"),
+        store_hits: count("store_hits"),
+        store_misses,
+        executed: count("executed"),
+    })
 }
 
 #[cfg(test)]

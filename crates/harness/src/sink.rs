@@ -312,6 +312,7 @@ pub fn write_metrics(
     jobs: usize,
     wall_seconds: f64,
     timings: &[(String, f64)],
+    pools: &[(tdc_util::obs::PoolTelemetry, Vec<String>)],
 ) -> io::Result<PathBuf> {
     fs::create_dir_all(dir)?;
     let per_job = Json::Arr(
@@ -341,6 +342,15 @@ pub fn write_metrics(
         ),
         ("jobs", Json::from(jobs)),
         ("per_job", per_job),
+        (
+            "pool",
+            Json::Arr(
+                pools
+                    .iter()
+                    .map(|(telemetry, _)| telemetry.metrics_json())
+                    .collect(),
+            ),
+        ),
     ]);
     let path = dir.join("metrics.json");
     fs::write(&path, metrics.pretty())?;

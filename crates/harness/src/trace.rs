@@ -165,7 +165,9 @@ fn parse_workload(s: &str) -> Option<Workload> {
     find(&profiles::PARSEC_NAMES).map(Workload::Parsec)
 }
 
-fn build_job(cell: &str, cfg: RunConfig) -> Result<Job, String> {
+/// Resolves a `<workload>/<org>` cell id into a runnable job; shared
+/// with `tdc prof`.
+pub(crate) fn build_job(cell: &str, cfg: RunConfig) -> Result<Job, String> {
     let (wl, org) = cell
         .split_once('/')
         .ok_or_else(|| format!("cell '{cell}' is not of the form <workload>/<org>"))?;

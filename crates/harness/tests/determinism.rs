@@ -185,13 +185,18 @@ fn tdc_all_artifacts_are_byte_identical_for_jobs_1_and_4() {
         "different artifact sets"
     );
     for (name, bytes) in a {
-        // metrics.json is the one deliberately non-deterministic
-        // artifact (wall-clock telemetry); everything else must match.
-        if name == "metrics.json" {
+        // metrics.json and the pool trace are the deliberately
+        // non-deterministic artifacts (wall-clock scheduler telemetry);
+        // everything else must match.
+        if name == "metrics.json" || name == "trace/pool.trace.json" {
             continue;
         }
         assert_eq!(bytes, &b[name], "results/{name} differs between --jobs 1 and --jobs 4");
     }
     assert!(a.contains_key("metrics.json"), "metrics.json not written");
+    assert!(
+        a.contains_key("trace/pool.trace.json"),
+        "pool scheduler trace not written"
+    );
     let _ = fs::remove_dir_all(&base);
 }

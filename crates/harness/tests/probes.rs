@@ -14,6 +14,7 @@ use std::path::PathBuf;
 use tdc_core::experiment::{run_job_probed, Job, OrgKind, Workload};
 use tdc_core::RunConfig;
 use tdc_harness::sink::report_json;
+use tdc_util::obs::ProfProbe;
 use tdc_util::probe::{EventGroup, Recorder, SharedProbe};
 use tdc_util::Json;
 
@@ -54,6 +55,35 @@ fn probed_runs_match_unprobed_runs_byte_for_byte() {
         assert!(
             probe.with(|r| r.total_events()) > 0,
             "no events recorded for {}",
+            cell.label()
+        );
+    }
+}
+
+#[test]
+fn profiled_runs_match_unprobed_runs_byte_for_byte() {
+    // The phase profiler reads the wall clock between simulator phases
+    // but must never leak it into simulated state: a profiled run's
+    // report is byte-identical to the unprobed run's.
+    let cells = [
+        job(Workload::Spec("mcf".into()), OrgKind::Tagless),
+        job(Workload::Spec("milc".into()), OrgKind::NoL3),
+    ];
+    for cell in &cells {
+        let plain = cell.execute().expect("unprobed run");
+        let probe = ProfProbe::new();
+        let profiled = run_job_probed(cell, probe.clone()).expect("profiled run");
+        let key = cell.cache_key();
+        assert_eq!(
+            report_json(&key, &plain).pretty(),
+            report_json(&key, &profiled).pretty(),
+            "phase profiling perturbed the simulation for {}",
+            cell.label()
+        );
+        let rec = probe.into_recorder();
+        assert!(
+            rec.attributed_ns() > 0,
+            "profiler attributed no time for {}",
             cell.label()
         );
     }

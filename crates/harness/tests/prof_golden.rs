@@ -1,0 +1,65 @@
+//! Pins the `prof.json` document shape (DESIGN.md §13) as a golden
+//! file. Real `tdc prof` output is wall-clock telemetry and can never
+//! be byte-stable, so the golden is built from a synthetic recorder fed
+//! through the same public `record_span` path the profiler uses —
+//! field names, ordering, phase set, and number formatting are all
+//! pinned (regenerate with `TDC_UPDATE_GOLDEN=1 cargo test -p
+//! tdc-harness --test prof_golden`).
+
+use std::fs;
+use std::path::PathBuf;
+use tdc_harness::prof::prof_json;
+use tdc_util::obs::ProfRecorder;
+use tdc_util::probe::Phase;
+use tdc_util::Json;
+
+fn synthetic_recorder() -> ProfRecorder {
+    let mut rec = ProfRecorder::new();
+    // A plausible-looking tagless cell: dominated by translation and
+    // bookkeeping, with repeated spans so the quantiles are non-trivial.
+    for i in 0..100u64 {
+        rec.record_span(Phase::Translation, 400 + i * 7);
+        rec.record_span(Phase::Ctlb, 300 + (i % 13) * 11);
+        rec.record_span(Phase::Dram, 250 + (i % 5) * 40);
+    }
+    for i in 0..20u64 {
+        rec.record_span(Phase::Gipt, 900 + i * 3);
+        rec.record_span(Phase::CacheAccess, 150 + i);
+    }
+    rec.record_span(Phase::Bookkeeping, 50_000);
+    rec
+}
+
+#[test]
+fn prof_json_matches_golden() {
+    let rec = synthetic_recorder();
+    let doc = prof_json("mcf/cTLB @1024MB", 200_000, &rec);
+    let text = format!("{}\n", doc.pretty());
+
+    // Structural validity first.
+    let back = Json::parse(&text).expect("prof.json parses");
+    assert_eq!(back.get("format_version").and_then(Json::as_u64), Some(1));
+    let Some(Json::Arr(phases)) = back.get("phases") else {
+        panic!("phases missing")
+    };
+    assert_eq!(phases.len(), Phase::COUNT);
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/prof.json");
+    if std::env::var_os("TDC_UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        fs::write(&path, &text).expect("write golden");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden {} ({e}); regenerate with TDC_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        want, text,
+        "prof.json drifted from golden; if intentional, regenerate with \
+         TDC_UPDATE_GOLDEN=1 cargo test -p tdc-harness --test prof_golden"
+    );
+}

@@ -22,8 +22,8 @@
 
 use crate::lexer::{scan, ScannedFile};
 use crate::rules::{
-    bench_schema, design_constants, figure_baselines, line_rules, manifest_schema, probe_coverage,
-    wire_schema, RawFinding, RULES,
+    bench_schema, design_constants, figure_baselines, line_rules, manifest_schema, obs_schema,
+    probe_coverage, wire_schema, RawFinding, RULES,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -349,6 +349,7 @@ pub fn run(cfg: &Config) -> io::Result<LintReport> {
         raw.extend(manifest_schema(&files, &design_text));
         raw.extend(bench_schema(&files, &design_text));
         raw.extend(wire_schema(&files, &design_text));
+        raw.extend(obs_schema(&files, &design_text));
     }
     raw.sort();
 

@@ -23,7 +23,7 @@ pub struct RawFinding {
 }
 
 /// `(id, summary)` for every rule, in report order.
-pub const RULES: [(&str, &str); 10] = [
+pub const RULES: [(&str, &str); 11] = [
     (
         "hash-collections",
         "HashMap/HashSet in library code: iteration order is nondeterministic and can leak into artifacts",
@@ -42,7 +42,7 @@ pub const RULES: [(&str, &str); 10] = [
     ),
     (
         "probe-coverage",
-        "every ProbeEvent variant declared in tdc-util must be emitted by some simulator crate",
+        "every ProbeEvent/Phase/EventKind variant declared in tdc-util must be used by some crate outside it",
     ),
     (
         "figure-baselines",
@@ -63,6 +63,10 @@ pub const RULES: [(&str, &str); 10] = [
     (
         "wire-schema",
         "the serve-envelope wire format documented in DESIGN.md must match serve::wire::WIRE_FIELDS/WIRE_VERSION",
+    ),
+    (
+        "obs-schema",
+        "the events.jsonl / histogram-summary schemas documented in DESIGN.md must match util::obs::EVENT_FIELDS/EVENT_VERSION and HIST_FIELDS/HIST_VERSION",
     ),
 ];
 
@@ -192,49 +196,70 @@ fn truncating_casts(code: &str) -> Vec<String> {
 // Cross-file rules
 // ---------------------------------------------------------------------------
 
-/// Every `ProbeEvent` variant declared in `crates/util/src/probe.rs`
-/// must be constructed somewhere outside `crates/util` (an actual
-/// emission site in the simulator).
+/// The instrumentation enums `tdc-util` declares and the rest of the
+/// workspace must exercise: probe events and phases in `probe.rs`,
+/// structured-log event kinds in `obs.rs`.
+const COVERED_ENUMS: [(&str, &str); 3] = [
+    ("crates/util/src/probe.rs", "ProbeEvent"),
+    ("crates/util/src/probe.rs", "Phase"),
+    ("crates/util/src/obs.rs", "EventKind"),
+];
+
+/// Every variant of the `COVERED_ENUMS` instrumentation enums must be
+/// constructed somewhere outside `crates/util` (an actual emission site
+/// in the simulator or service code).
 pub fn probe_coverage(files: &BTreeMap<String, ScannedFile>) -> Vec<RawFinding> {
-    const PROBE: &str = "crates/util/src/probe.rs";
-    let Some(probe) = files.get(PROBE) else {
-        return Vec::new();
-    };
-    let variants = enum_variants(probe, "ProbeEvent");
-    let mut used: BTreeSet<String> = BTreeSet::new();
-    for (path, file) in files {
-        if path.starts_with("crates/util/") {
+    let mut out = Vec::new();
+    for (src, enum_name) in COVERED_ENUMS {
+        let Some(decl) = files.get(src) else {
             continue;
-        }
-        for line in &file.lines {
-            let code = &line.code;
-            let mut rest = code.as_str();
-            while let Some(pos) = rest.find("ProbeEvent::") {
-                let after = &rest[pos + "ProbeEvent::".len()..];
-                let name: String = after
-                    .chars()
-                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-                    .collect();
-                if !name.is_empty() {
-                    used.insert(name);
+        };
+        let variants = enum_variants(decl, enum_name);
+        let needle = format!("{enum_name}::");
+        let mut used: BTreeSet<String> = BTreeSet::new();
+        for (path, file) in files {
+            if path.starts_with("crates/util/") {
+                continue;
+            }
+            for line in &file.lines {
+                let code = &line.code;
+                let mut rest = code.as_str();
+                while let Some(pos) = rest.find(&needle) {
+                    // Word boundary: `Phase::` must not match `MyPhase::`.
+                    let bounded = pos == 0 || {
+                        let b = rest.as_bytes()[pos - 1];
+                        !(b.is_ascii_alphanumeric() || b == b'_')
+                    };
+                    let after = &rest[pos + needle.len()..];
+                    if bounded {
+                        let name: String = after
+                            .chars()
+                            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                            .collect();
+                        if !name.is_empty() {
+                            used.insert(name);
+                        }
+                    }
+                    rest = after;
                 }
-                rest = after;
             }
         }
+        out.extend(
+            variants
+                .into_iter()
+                .filter(|(name, _)| !used.contains(name))
+                .map(|(name, line)| RawFinding {
+                    file: src.to_string(),
+                    line,
+                    rule: "probe-coverage",
+                    message: format!(
+                        "{enum_name}::{name} is declared but never used outside tdc-util; \
+                         dead instrumentation hooks hide lost coverage"
+                    ),
+                }),
+        );
     }
-    variants
-        .into_iter()
-        .filter(|(name, _)| !used.contains(name))
-        .map(|(name, line)| RawFinding {
-            file: PROBE.to_string(),
-            line,
-            rule: "probe-coverage",
-            message: format!(
-                "ProbeEvent::{name} is declared but never emitted outside tdc-util; \
-                 dead probe hooks hide lost instrumentation"
-            ),
-        })
-        .collect()
+    out
 }
 
 /// Extracts `(variant, 1-based line)` pairs of `pub enum <name>`.
@@ -426,6 +451,18 @@ pub fn wire_schema(files: &BTreeMap<String, ScannedFile>, design_md: &str) -> Ve
     schema_sync(&WIRE_SPEC, files, design_md)
 }
 
+/// The observability layer carries two more two-sources-of-truth
+/// schemas — the `events.jsonl` structured-log line
+/// (`EVENT_FIELDS`/`EVENT_VERSION`) and the histogram summary object
+/// (`HIST_FIELDS`/`HIST_VERSION`), both in `crates/util/src/obs.rs`
+/// versus the DESIGN.md §13 prose — anchored by the first DESIGN.md
+/// lines containing `events.jsonl` and `histogram-summary`.
+pub fn obs_schema(files: &BTreeMap<String, ScannedFile>, design_md: &str) -> Vec<RawFinding> {
+    let mut out = schema_sync(&OBS_EVENT_SPEC, files, design_md);
+    out.extend(schema_sync(&OBS_HIST_SPEC, files, design_md));
+    out
+}
+
 /// One code-constants-versus-DESIGN.md schema pairing checked by
 /// [`schema_sync`].
 struct SchemaSpec {
@@ -479,6 +516,28 @@ const WIRE_SPEC: SchemaSpec = SchemaSpec {
     code_home: "serve::wire",
     subject: "serve-envelope",
     field_noun: "envelope field",
+};
+
+const OBS_EVENT_SPEC: SchemaSpec = SchemaSpec {
+    rule: "obs-schema",
+    src: "crates/util/src/obs.rs",
+    fields_const: "EVENT_FIELDS",
+    version_const: "EVENT_VERSION",
+    anchor: "events.jsonl",
+    code_home: "util::obs",
+    subject: "event-log",
+    field_noun: "event field",
+};
+
+const OBS_HIST_SPEC: SchemaSpec = SchemaSpec {
+    rule: "obs-schema",
+    src: "crates/util/src/obs.rs",
+    fields_const: "HIST_FIELDS",
+    version_const: "HIST_VERSION",
+    anchor: "histogram-summary",
+    code_home: "util::obs",
+    subject: "histogram-summary",
+    field_noun: "histogram summary field",
 };
 
 /// The shared both-directions check: every documented field exists in
@@ -883,6 +942,93 @@ mod tests {
         assert!(hits[0].message.contains("serve::wire"));
         assert!(hits[0].message.contains("never documents"));
         assert!(wire_schema(&BTreeMap::new(), "anything").is_empty());
+    }
+
+    fn obs_files(event_fields: &[&str], hist_fields: &[&str], version: u64) -> BTreeMap<String, ScannedFile> {
+        let quote = |fields: &[&str]| {
+            fields
+                .iter()
+                .map(|f| format!("\"{f}\""))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let src = format!(
+            "pub const EVENT_VERSION: u64 = {version};\n\
+             pub const EVENT_FIELDS: [&str; {}] = [{}];\n\
+             pub const HIST_VERSION: u64 = {version};\n\
+             pub const HIST_FIELDS: [&str; {}] = [{}];\n",
+            event_fields.len(),
+            quote(event_fields),
+            hist_fields.len(),
+            quote(hist_fields),
+        );
+        let mut files = BTreeMap::new();
+        files.insert("crates/util/src/obs.rs".to_string(), scan(&src));
+        files
+    }
+
+    #[test]
+    fn obs_schema_passes_when_doc_and_code_agree() {
+        let files = obs_files(&["format_version", "span"], &["count", "p99"], 1);
+        let doc = "## Observability\n\n\
+                   Each `events.jsonl` line (format_version 1) carries\n\
+                   `format_version` and `span`.\n\n\
+                   A `histogram-summary` object (format_version 1) carries\n\
+                   `count` and `p99`.\n\n more prose";
+        assert!(obs_schema(&files, doc).is_empty());
+    }
+
+    #[test]
+    fn obs_schema_flags_both_directions_and_version_drift() {
+        let files = obs_files(&["format_version", "span"], &["count", "p99"], 2);
+        // Event block: bogus field, omits `span`, claims version 1.
+        // Histogram block: documents both fields correctly but claims
+        // version 1 against HIST_VERSION 2.
+        let doc = "Each `events.jsonl` line (format_version 1) carries\n\
+                   `format_version` and `bogus_field`.\n\n\
+                   A `histogram-summary` object (format_version 1) carries\n\
+                   `count` and `p99`.\n";
+        let hits = obs_schema(&files, doc);
+        assert_eq!(hits.len(), 4, "{hits:?}");
+        assert!(hits.iter().all(|h| h.rule == "obs-schema" && h.file == "DESIGN.md"));
+        assert!(hits.iter().any(|h| h.message.contains("format_version 1")
+            && h.message.contains("EVENT_VERSION is 2")));
+        assert!(hits.iter().any(|h| h.message.contains("format_version 1")
+            && h.message.contains("HIST_VERSION is 2")));
+        assert!(hits.iter().any(|h| h.message.contains("`bogus_field`")));
+        assert!(hits.iter().any(|h| h.message.contains("`span`")
+            && h.message.contains("does not document")));
+    }
+
+    #[test]
+    fn obs_schema_requires_documentation_when_code_exists() {
+        let files = obs_files(&["format_version"], &["count"], 1);
+        let hits = obs_schema(&files, "# DESIGN\n\nno schema here\n");
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| h.message.contains("util::obs")
+            && h.message.contains("never documents")));
+        assert!(obs_schema(&BTreeMap::new(), "anything").is_empty());
+    }
+
+    #[test]
+    fn probe_coverage_checks_phase_and_event_kind_enums() {
+        let mut files = BTreeMap::new();
+        files.insert(
+            "crates/util/src/probe.rs".to_string(),
+            scan("pub enum ProbeEvent {\n    Used { n: u8 },\n}\npub enum Phase {\n    Dram,\n    Idle,\n}"),
+        );
+        files.insert(
+            "crates/util/src/obs.rs".to_string(),
+            scan("pub enum EventKind {\n    Execute,\n    Reject,\n}"),
+        );
+        files.insert(
+            "crates/core/src/a.rs".to_string(),
+            scan("p.emit(ProbeEvent::Used { n: 1 });\np.phase_begin(Phase::Dram);\nlog.emit(1, \"cell\", EventKind::Execute, k);\nMyPhase::Idle;"),
+        );
+        let hits = probe_coverage(&files);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().any(|h| h.message.contains("Phase::Idle")));
+        assert!(hits.iter().any(|h| h.message.contains("EventKind::Reject")));
     }
 
     #[test]

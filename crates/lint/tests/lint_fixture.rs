@@ -27,11 +27,12 @@ fn every_rule_flags_its_seeded_violation() {
         .iter()
         .map(|f| (f.raw.rule, f.raw.file.as_str(), f.raw.line, f.status))
         .collect();
-    let expected: [(&str, &str, usize, Status); 12] = [
+    let expected: [(&str, &str, usize, Status); 13] = [
         ("design-constants", "DESIGN.md", 3, Status::New),
         ("manifest-schema", "DESIGN.md", 6, Status::New),
         ("bench-schema", "DESIGN.md", 10, Status::New),
         ("wire-schema", "DESIGN.md", 15, Status::New),
+        ("obs-schema", "DESIGN.md", 19, Status::New),
         ("hash-collections", "crates/a/src/lib.rs", 4, Status::New),
         ("time-source", "crates/a/src/lib.rs", 7, Status::New),
         ("cast-truncation", "crates/a/src/lib.rs", 8, Status::New),
@@ -42,7 +43,7 @@ fn every_rule_flags_its_seeded_violation() {
         ("probe-coverage", "crates/util/src/probe.rs", 8, Status::New),
     ];
     assert_eq!(hits, expected, "fixture findings drifted");
-    assert_eq!(report.new_count(), 10);
+    assert_eq!(report.new_count(), 11);
     assert!(report.stale.is_empty());
 }
 
@@ -64,6 +65,7 @@ fn fixture_messages_name_the_offender() {
     assert!(msg("manifest-schema").contains("missing_field"));
     assert!(msg("bench-schema").contains("stale_field"));
     assert!(msg("wire-schema").contains("missing_wire_field"));
+    assert!(msg("obs-schema").contains("missing_event_field"));
     assert!(msg("cast-truncation").contains("end_cycle"));
 }
 
@@ -110,13 +112,14 @@ fn lint_json_is_parseable_and_self_consistent() {
 fn regenerated_ratchet_covers_all_non_pragma_findings() {
     let report = lint_fixture();
     let content = report.ratchet_content();
-    // 11 non-pragma findings across 7 (rule, file) groups.
+    // 12 non-pragma findings across 8 (rule, file) groups.
     assert!(content.contains("panic-in-lib crates/a/src/lib.rs 2"));
     assert!(content.contains("hash-collections crates/a/src/lib.rs 1"));
     assert!(content.contains("design-constants DESIGN.md 1"));
     assert!(content.contains("manifest-schema DESIGN.md 1"));
     assert!(content.contains("bench-schema DESIGN.md 1"));
     assert!(content.contains("wire-schema DESIGN.md 1"));
+    assert!(content.contains("obs-schema DESIGN.md 1"));
     assert!(content.contains("probe-coverage crates/util/src/probe.rs 1"));
     // Pragma-allowed findings never enter the ratchet.
     assert!(!content.contains("hash-collections crates/a/src/lib.rs 2"));

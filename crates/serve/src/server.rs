@@ -21,6 +21,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use tdc_util::http::{read_request, write_response, Request, Response};
+use tdc_util::obs::{EventKind, EventLog, LogHistogram};
 use tdc_util::{run_tasks, Json};
 
 use crate::store::ResultStore;
@@ -114,6 +115,7 @@ struct Metrics {
     peak_active: AtomicU64,
     epoch: AtomicU64,
     epochs: Mutex<VecDeque<EpochRecord>>,
+    latency_us: Mutex<LogHistogram>,
 }
 
 /// A single in-flight computation for one cache key; followers block
@@ -135,6 +137,8 @@ pub struct Server<E: Engine> {
     flights: Mutex<BTreeMap<String, Arc<Flight>>>,
     active: Mutex<usize>,
     metrics: Metrics,
+    next_id: AtomicU64,
+    event_log: Option<EventLog>,
     stop: AtomicBool,
     addr: Mutex<Option<SocketAddr>>,
     conns: Mutex<usize>,
@@ -168,6 +172,8 @@ impl<E: Engine> Server<E> {
             flights: Mutex::new(BTreeMap::new()),
             active: Mutex::new(0),
             metrics: Metrics::default(),
+            next_id: AtomicU64::new(0),
+            event_log: None,
             stop: AtomicBool::new(false),
             addr: Mutex::new(None),
             conns: Mutex::new(0),
@@ -178,6 +184,34 @@ impl<E: Engine> Server<E> {
     /// The engine backing this server.
     pub fn engine(&self) -> &E {
         &self.engine
+    }
+
+    /// Attaches a structured event log (DESIGN.md §13). Every request
+    /// handled after this writes span-correlated JSONL events tagged
+    /// with the request id.
+    pub fn with_event_log(mut self, log: EventLog) -> Self {
+        self.event_log = Some(log);
+        self
+    }
+
+    /// Emits one structured event, if an event log is attached.
+    /// Fire-and-forget: logging never fails a request.
+    fn event(&self, rid: u64, span: &str, kind: EventKind, detail: &str) {
+        if let Some(log) = &self.event_log {
+            log.emit(rid, span, kind, detail);
+        }
+    }
+
+    /// Records one request latency into the Prometheus histogram.
+    /// Public so exposition-format golden tests can feed deterministic
+    /// samples; production callers go through the private
+    /// `Server::record_epoch`.
+    pub fn observe_latency_us(&self, micros: u64) {
+        self.metrics
+            .latency_us
+            .lock()
+            .expect("latency histogram lock")
+            .record(micros);
     }
 
     /// Whether `/shutdown` has been requested.
@@ -218,14 +252,35 @@ impl<E: Engine> Server<E> {
     /// connection: no socket I/O, no clock reads — the counters it
     /// bumps only surface through `/status` and `/metrics`.
     pub fn handle(&self, req: &Request) -> Response {
+        let rid = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.event(
+            rid,
+            "request",
+            EventKind::RequestBegin,
+            &format!("{} {}", req.method, req.target),
+        );
+        let resp = self.handle_with_id(req, rid);
+        self.event(
+            rid,
+            "request",
+            EventKind::RequestEnd,
+            &format!("{} {}", req.target, resp.status),
+        );
+        resp
+    }
+
+    /// [`Server::handle`] with the request id already assigned; the id
+    /// tags every structured event this request produces, including
+    /// those emitted from pool workers while materializing cells.
+    fn handle_with_id(&self, req: &Request, rid: u64) -> Response {
         match (req.method.as_str(), req.target.as_str()) {
             ("POST", "/sweep") => {
                 self.metrics.sweep.fetch_add(1, Ordering::Relaxed);
-                self.sweep(&req.target, &req.body)
+                self.sweep(rid, &req.target, &req.body)
             }
             ("GET", target) if target.starts_with("/figure/") => {
                 self.metrics.figure.fetch_add(1, Ordering::Relaxed);
-                self.figure_endpoint(target)
+                self.figure_endpoint(rid, target)
             }
             ("GET", "/status") => {
                 self.metrics.status.fetch_add(1, Ordering::Relaxed);
@@ -235,12 +290,20 @@ impl<E: Engine> Server<E> {
                 self.metrics.metrics.fetch_add(1, Ordering::Relaxed);
                 self.metrics_endpoint()
             }
+            ("GET", "/metrics.prom") => {
+                self.metrics.metrics.fetch_add(1, Ordering::Relaxed);
+                Response::new(
+                    200,
+                    "text/plain; version=0.0.4",
+                    self.prometheus_text().into_bytes(),
+                )
+            }
             ("POST", "/shutdown") => {
                 self.metrics.shutdown.fetch_add(1, Ordering::Relaxed);
                 self.stop.store(true, Ordering::SeqCst);
                 self.ok("/shutdown", Json::obj([("stopping", Json::from(true))]))
             }
-            (_, target @ ("/sweep" | "/status" | "/metrics" | "/shutdown")) => {
+            (_, target @ ("/sweep" | "/status" | "/metrics" | "/metrics.prom" | "/shutdown")) => {
                 self.metrics.other.fetch_add(1, Ordering::Relaxed);
                 self.error(target, 405, &format!("method {} not allowed here", req.method))
             }
@@ -255,7 +318,7 @@ impl<E: Engine> Server<E> {
         }
     }
 
-    fn sweep(&self, endpoint: &str, body: &[u8]) -> Response {
+    fn sweep(&self, rid: u64, endpoint: &str, body: &[u8]) -> Response {
         let text = match std::str::from_utf8(body) {
             Ok(t) => t,
             Err(_) => return self.error(endpoint, 400, "request body is not UTF-8"),
@@ -283,26 +346,26 @@ impl<E: Engine> Server<E> {
         }
 
         let Some(_slot) = self.admit() else {
-            return self.saturated(endpoint);
+            return self.saturated(rid, endpoint);
         };
-        match self.materialize(&keys) {
+        match self.materialize(rid, &keys) {
             Ok(cells) => self.ok(endpoint, Json::obj([("cells", Json::Arr(cells))])),
             Err(e) => self.error(endpoint, 500, &e),
         }
     }
 
-    fn figure_endpoint(&self, target: &str) -> Response {
+    fn figure_endpoint(&self, rid: u64, target: &str) -> Response {
         let id = target.strip_prefix("/figure/").unwrap_or_default();
         let Some(keys) = self.engine.figure_keys(id) else {
             return self.error(target, 404, &format!("unknown figure '{id}'"));
         };
         let Some(_slot) = self.admit() else {
-            return self.saturated(target);
+            return self.saturated(rid, target);
         };
         let mut keys = keys;
         keys.sort();
         keys.dedup();
-        if let Err(e) = self.materialize(&keys) {
+        if let Err(e) = self.materialize(rid, &keys) {
             return self.error(target, 500, &e);
         }
         match self.engine.figure(id) {
@@ -422,16 +485,69 @@ impl<E: Engine> Server<E> {
         self.ok("/metrics", data)
     }
 
+    /// The `/metrics.prom` body: the same counters as `/metrics` plus
+    /// the request-latency histogram, in Prometheus text exposition
+    /// format (version 0.0.4). Public so golden tests can pin the
+    /// exact bytes.
+    pub fn prometheus_text(&self) -> String {
+        let m = &self.metrics;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut out = String::new();
+        out.push_str("# HELP tdc_requests_total Requests served, by endpoint.\n");
+        out.push_str("# TYPE tdc_requests_total counter\n");
+        for (endpoint, counter) in [
+            ("sweep", &m.sweep),
+            ("figure", &m.figure),
+            ("status", &m.status),
+            ("metrics", &m.metrics),
+            ("shutdown", &m.shutdown),
+            ("other", &m.other),
+        ] {
+            out.push_str(&format!(
+                "tdc_requests_total{{endpoint=\"{endpoint}\"}} {}\n",
+                load(counter)
+            ));
+        }
+        out.push_str("# HELP tdc_work_total Cell-work outcomes, by kind.\n");
+        out.push_str("# TYPE tdc_work_total counter\n");
+        let store_hits = self.store.as_ref().map_or(0, |s| s.counters().hits);
+        for (kind, value) in [
+            ("executed", load(&m.executed)),
+            ("mem_hits", load(&m.mem_hits)),
+            ("store_hits", store_hits),
+            ("deduped", load(&m.deduped)),
+            ("rejected", load(&m.rejected)),
+            ("errors", load(&m.errors)),
+        ] {
+            out.push_str(&format!("tdc_work_total{{kind=\"{kind}\"}} {value}\n"));
+        }
+        out.push_str("# HELP tdc_request_duration_us Request latency in microseconds.\n");
+        out.push_str("# TYPE tdc_request_duration_us histogram\n");
+        let hist = m.latency_us.lock().expect("latency histogram lock");
+        for (le, cumulative) in hist.prometheus_buckets() {
+            out.push_str(&format!(
+                "tdc_request_duration_us_bucket{{le=\"{le}\"}} {cumulative}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "tdc_request_duration_us_bucket{{le=\"+Inf\"}} {}\n",
+            hist.count()
+        ));
+        out.push_str(&format!("tdc_request_duration_us_sum {}\n", hist.sum()));
+        out.push_str(&format!("tdc_request_duration_us_count {}\n", hist.count()));
+        out
+    }
+
     // -- cell materialization -------------------------------------------
 
     /// Materializes every key (deduplicated, sorted by the caller) and
     /// returns the deterministic `cells` array.
-    fn materialize(&self, keys: &[String]) -> Result<Vec<Json>, String> {
+    fn materialize(&self, rid: u64, keys: &[String]) -> Result<Vec<Json>, String> {
         let results = if keys.len() <= 1 {
             // Fast path for the single-cell request mix: no pool spawn.
-            keys.iter().map(|k| self.cell(k)).collect::<Vec<_>>()
+            keys.iter().map(|k| self.cell(rid, k)).collect::<Vec<_>>()
         } else {
-            run_tasks(keys, self.cfg.jobs, |_, k| self.cell(k))
+            run_tasks(keys, self.cfg.jobs, |_, k| self.cell(rid, k))
         };
         let mut cells = Vec::with_capacity(keys.len());
         for (key, result) in keys.iter().zip(results) {
@@ -446,9 +562,10 @@ impl<E: Engine> Server<E> {
 
     /// One cell: memory cache, then disk store, then a single-flight
     /// execution shared with every concurrent request for this key.
-    fn cell(&self, key: &str) -> Result<Arc<Json>, String> {
+    fn cell(&self, rid: u64, key: &str) -> Result<Arc<Json>, String> {
         if let Some(doc) = self.mem.lock().expect("mem cache lock").get(key).cloned() {
             self.metrics.mem_hits.fetch_add(1, Ordering::Relaxed);
+            self.event(rid, "cell", EventKind::MemHit, key);
             return Ok(doc);
         }
         if let Some(store) = &self.store {
@@ -456,6 +573,7 @@ impl<E: Engine> Server<E> {
                 // A stored report the engine rejects (e.g. written by a
                 // newer report schema) falls through to re-execution.
                 if self.engine.preload(key, &doc).is_ok() {
+                    self.event(rid, "cell", EventKind::StoreHit, key);
                     let doc = Arc::new(doc);
                     self.mem
                         .lock()
@@ -482,6 +600,7 @@ impl<E: Engine> Server<E> {
         };
         if !leader {
             self.metrics.deduped.fetch_add(1, Ordering::Relaxed);
+            self.event(rid, "cell", EventKind::DedupJoin, key);
             let mut slot = flight.slot.lock().expect("flight slot lock");
             while slot.is_none() {
                 slot = flight.ready.wait(slot).expect("flight wait");
@@ -489,7 +608,11 @@ impl<E: Engine> Server<E> {
             return slot.clone().expect("flight slot just filled");
         }
 
+        self.event(rid, "cell", EventKind::Execute, key);
         let result = self.engine.execute(key).map(Arc::new);
+        if result.is_err() {
+            self.event(rid, "cell", EventKind::EngineError, key);
+        }
         if let Ok(doc) = &result {
             self.metrics.executed.fetch_add(1, Ordering::Relaxed);
             if let Some(store) = &self.store {
@@ -536,8 +659,9 @@ impl<E: Engine> Server<E> {
         Response::new(status, "application/json", body.into_bytes())
     }
 
-    fn saturated(&self, endpoint: &str) -> Response {
+    fn saturated(&self, rid: u64, endpoint: &str) -> Response {
         self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+        self.event(rid, "request", EventKind::Reject, endpoint);
         let body = wire::envelope(
             endpoint,
             429,
@@ -615,8 +739,10 @@ impl<E: Engine> Server<E> {
         }
     }
 
-    /// Appends one per-request epoch to the bounded `/metrics` ring.
+    /// Appends one per-request epoch to the bounded `/metrics` ring and
+    /// the unbounded latency histogram behind `/metrics.prom`.
     fn record_epoch(&self, req: &Request, status: u16, micros: u64) {
+        self.observe_latency_us(micros);
         let number = self.metrics.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let mut ring = self.metrics.epochs.lock().expect("epoch ring lock");
         if ring.len() == EPOCH_RING {

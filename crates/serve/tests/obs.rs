@@ -1,0 +1,181 @@
+//! Observability contracts of the daemon core (DESIGN.md §13):
+//!
+//! 1. **Prometheus exposition is stable.** The `/metrics.prom` body for
+//!    a fixed request history and a fixed set of latency samples is
+//!    pinned as a golden file (regenerate with `TDC_UPDATE_GOLDEN=1
+//!    cargo test -p tdc-serve --test obs`).
+//! 2. **Structured events are span-correlated.** Every request writes
+//!    schema-exact JSONL lines to the event log, and the request id
+//!    ties a `request` span's begin/end to the `cell` events it caused.
+
+use std::fs;
+use std::path::PathBuf;
+use tdc_serve::{CacheStats, Engine, Server, ServerConfig};
+use tdc_util::http::Request;
+use tdc_util::obs::{EventLog, EVENT_FIELDS};
+use tdc_util::Json;
+
+/// Deterministic two-figure mock (same shape as the wire goldens).
+struct MockEngine;
+
+impl Engine for MockEngine {
+    fn figure_ids(&self) -> Vec<String> {
+        vec!["figA".into(), "figB".into()]
+    }
+    fn figure_keys(&self, id: &str) -> Option<Vec<String>> {
+        match id {
+            "figA" => Some(vec!["cell:a".into(), "cell:b".into()]),
+            "figB" => Some(vec!["cell:b".into()]),
+            _ => None,
+        }
+    }
+    fn has_key(&self, key: &str) -> bool {
+        key == "cell:a" || key == "cell:b"
+    }
+    fn key_count(&self) -> usize {
+        2
+    }
+    fn execute(&self, key: &str) -> Result<Json, String> {
+        Ok(Json::obj([
+            ("key", Json::from(key)),
+            ("value", Json::from(key.len() as u64)),
+        ]))
+    }
+    fn figure(&self, id: &str) -> Result<Json, String> {
+        Ok(Json::obj([("id", Json::from(id))]))
+    }
+    fn preload(&self, _key: &str, _report: &Json) -> Result<(), String> {
+        Ok(())
+    }
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
+}
+
+fn sweep_req(key: &str) -> Request {
+    Request::new(
+        "POST",
+        "/sweep",
+        tdc_serve::sweep_request(&[key.to_string()], &[]).pretty(),
+    )
+}
+
+#[test]
+fn prometheus_exposition_matches_golden() {
+    let srv = Server::new(MockEngine, ServerConfig { jobs: 1, queue: 4 }, None);
+    // A fixed request history: one execute, one memory hit, one figure
+    // (which executes cell:b and mem-hits cell:a), one routing miss.
+    assert_eq!(srv.handle(&sweep_req("cell:a")).status, 200);
+    assert_eq!(srv.handle(&sweep_req("cell:a")).status, 200);
+    assert_eq!(srv.handle(&Request::new("GET", "/figure/figA", Vec::new())).status, 200);
+    assert_eq!(srv.handle(&Request::new("GET", "/nope", Vec::new())).status, 404);
+    // Deterministic latency samples standing in for record_epoch.
+    for us in [5u64, 90, 110, 3_000, 250_000] {
+        srv.observe_latency_us(us);
+    }
+
+    let text = srv.prometheus_text();
+    assert!(text.contains("# TYPE tdc_requests_total counter"));
+    assert!(text.contains("# TYPE tdc_work_total counter"));
+    assert!(text.contains("# TYPE tdc_request_duration_us histogram"));
+    assert!(text.contains("tdc_request_duration_us_bucket{le=\"+Inf\"} 5"));
+    assert!(text.contains("tdc_request_duration_us_count 5"));
+    assert!(text.ends_with('\n'), "exposition must end with a newline");
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/metrics.prom");
+    if std::env::var_os("TDC_UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        fs::write(&path, &text).expect("write golden");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden {} ({e}); regenerate with TDC_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        want, text,
+        "Prometheus exposition drifted from golden; if intentional, regenerate with \
+         TDC_UPDATE_GOLDEN=1 cargo test -p tdc-serve --test obs"
+    );
+}
+
+#[test]
+fn event_log_lines_are_schema_exact_and_span_correlated() {
+    let path = std::env::temp_dir().join(format!("tdc-serve-events-{}.jsonl", std::process::id()));
+    let _ = fs::remove_file(&path);
+    let log = EventLog::create(&path).expect("event log opens");
+    let srv = Server::new(MockEngine, ServerConfig { jobs: 1, queue: 4 }, None)
+        .with_event_log(log);
+
+    assert_eq!(srv.handle(&sweep_req("cell:a")).status, 200); // execute
+    assert_eq!(srv.handle(&sweep_req("cell:a")).status, 200); // mem hit
+
+    let text = fs::read_to_string(&path).expect("event log readable");
+    let lines: Vec<Json> = text
+        .lines()
+        .map(|l| Json::parse(l).expect("event line is valid JSON"))
+        .collect();
+    // 2 requests x (begin + one cell event + end).
+    assert_eq!(lines.len(), 6, "{text}");
+
+    // Every line carries exactly the documented fields, in order.
+    for line in &lines {
+        let Json::Obj(pairs) = line else {
+            panic!("event line is not an object: {line:?}")
+        };
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, EVENT_FIELDS, "event schema drifted");
+        assert_eq!(line.get("format_version").and_then(Json::as_u64), Some(1));
+    }
+
+    let field = |i: usize, name: &str| -> String {
+        lines[i].get(name).and_then(Json::as_str).expect("string field").to_string()
+    };
+    // Request 1: begin -> execute -> end, all under one request id.
+    assert_eq!(field(0, "request_id"), "r000001");
+    assert_eq!(field(0, "span"), "request");
+    assert_eq!(field(0, "event"), "request_begin");
+    assert_eq!(field(0, "detail"), "POST /sweep");
+    assert_eq!(field(1, "request_id"), "r000001");
+    assert_eq!(field(1, "span"), "cell");
+    assert_eq!(field(1, "event"), "execute");
+    assert_eq!(field(1, "detail"), "cell:a");
+    assert_eq!(field(2, "request_id"), "r000001");
+    assert_eq!(field(2, "event"), "request_end");
+    assert_eq!(field(2, "detail"), "/sweep 200");
+    // Request 2 gets a fresh id and rides the memory cache.
+    assert_eq!(field(3, "request_id"), "r000002");
+    assert_eq!(field(4, "request_id"), "r000002");
+    assert_eq!(field(4, "event"), "mem_hit");
+    assert_eq!(field(5, "event"), "request_end");
+
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn saturated_requests_log_a_reject_event() {
+    let path = std::env::temp_dir().join(format!("tdc-serve-reject-{}.jsonl", std::process::id()));
+    let _ = fs::remove_file(&path);
+    let log = EventLog::create(&path).expect("event log opens");
+    let srv = Server::new(MockEngine, ServerConfig { jobs: 1, queue: 0 }, None)
+        .with_event_log(log);
+    assert_eq!(srv.handle(&sweep_req("cell:a")).status, 429);
+
+    let text = fs::read_to_string(&path).expect("event log readable");
+    let events: Vec<String> = text
+        .lines()
+        .map(|l| {
+            Json::parse(l)
+                .expect("valid JSON")
+                .get("event")
+                .and_then(Json::as_str)
+                .expect("event field")
+                .to_string()
+        })
+        .collect();
+    assert_eq!(events, ["request_begin", "reject", "request_end"]);
+    let _ = fs::remove_file(&path);
+}

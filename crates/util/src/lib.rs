@@ -25,7 +25,13 @@
 //!   telemetry and Chrome trace-event export.
 //! * [`pool`] — a generic scoped worker pool ([`run_tasks`]) shared by
 //!   the experiment harness and the lint pass; results come back in
-//!   input order regardless of thread count.
+//!   input order regardless of thread count. A telemetry variant
+//!   ([`pool::run_tasks_telemetry`]) also reports per-worker
+//!   scheduler counters.
+//! * [`obs`] — the observability layer (DESIGN.md §13): log-scale
+//!   histograms ([`LogHistogram`]), the wall-time phase profiler
+//!   behind `tdc prof` ([`ProfProbe`]), pool telemetry types, and
+//!   the span-correlated JSONL event log ([`obs::EventLog`]).
 //! * [`http`] — minimal HTTP/1.1 request/response plumbing over std
 //!   streams (strict parser, deterministic writer), the transport
 //!   under `tdc serve` and its load generator.
@@ -47,6 +53,7 @@ pub mod hash;
 pub mod http;
 pub mod json;
 pub mod mem;
+pub mod obs;
 pub mod pool;
 pub mod probe;
 pub mod rng;
@@ -57,8 +64,9 @@ pub use hash::{fnv1a_64, shard_of};
 pub use json::{Json, JsonError};
 pub use mem::{CAddr, Cpn, Cycle, PAddr, Ppn, VAddr, Vpn};
 pub use mem::{BLOCKS_PER_PAGE, BLOCK_SHIFT, BLOCK_SIZE, PAGE_SHIFT, PAGE_SIZE};
-pub use pool::run_tasks;
-pub use probe::{EventGroup, NoProbe, Probe, ProbeEvent, Recorder, SharedProbe};
+pub use obs::{EventKind, LogHistogram, PoolTelemetry, ProfProbe, ProfRecorder};
+pub use pool::{run_tasks, run_tasks_telemetry};
+pub use probe::{EventGroup, NoProbe, Phase, Probe, ProbeEvent, Recorder, SharedProbe};
 pub use rng::{Pcg32, Rng, SplitMix64};
 pub use stats::{geomean, Histogram, RunningStats};
 pub use stats::{is_improvement, is_regression, median, regression_threshold, spread};

@@ -1,0 +1,843 @@
+//! The unified observability layer: log-scale histograms, wall-time
+//! phase profiling, pool telemetry, and the structured event log.
+//!
+//! Everything here is host-side telemetry *about* a run, never input
+//! *to* a run: simulated results depend only on the seed, and every
+//! artifact this module produces is excluded from the byte-identity
+//! determinism comparisons the same way `metrics.json` already is.
+//!
+//! * [`LogHistogram`] — a hand-rolled, std-only fixed-bucket log-scale
+//!   histogram (no HDR dependency). 4 sub-buckets per power of two
+//!   bound the relative error at 12.5%; merges are deterministic
+//!   element-wise adds, so shard-merged summaries equal single-run
+//!   summaries over the same samples.
+//! * [`ProfProbe`] / [`ProfRecorder`] — the wall-time phase profiler
+//!   behind `tdc prof`: a self-time span stack keyed by
+//!   [`crate::probe::Phase`], fed through the [`Probe`] seam's
+//!   `prof_enabled`/`phase_begin`/`phase_end` hooks (which stay
+//!   monomorphized no-ops under [`crate::probe::NoProbe`]).
+//! * [`PoolTelemetry`] — per-worker scheduler counters (tasks run,
+//!   busy/idle ns, queue-depth samples, per-task spans) collected by
+//!   [`crate::pool::run_tasks_telemetry`] and rendered as a Perfetto
+//!   track by [`pool_trace_json`].
+//! * [`EventLog`] — the span-correlated JSONL event log
+//!   (`results/events.jsonl`): one compact serde-free JSON object per
+//!   line, fields fixed by [`EVENT_FIELDS`] and lint-pinned to
+//!   DESIGN.md §13 (`obs-schema` rule).
+
+use crate::json::Json;
+use crate::probe::{Phase, Probe};
+use std::cell::RefCell;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::rc::Rc;
+use std::sync::Mutex;
+use std::time::Instant; // tdc-lint: allow(time-source) host-side telemetry only
+
+// ---------------------------------------------------------------------------
+// Log-scale histogram
+// ---------------------------------------------------------------------------
+
+/// Number of fixed buckets in a [`LogHistogram`]: exact buckets for
+/// values 0..8, then 4 sub-buckets per power of two up to `u64::MAX`.
+pub const HIST_BUCKETS: usize = 252;
+
+/// Schema version stamped next to every serialized histogram summary.
+pub const HIST_VERSION: u64 = 1;
+
+/// Field names of a serialized histogram summary, in writer order.
+/// Lint-pinned to the DESIGN.md §13 `histogram-summary` block.
+pub const HIST_FIELDS: [&str; 7] = ["count", "sum", "min", "max", "p50", "p90", "p99"];
+
+/// Maps a value to its bucket index. Values below 8 get exact
+/// buckets; above that, each power of two splits into 4 sub-buckets.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < 8 {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros() as usize; // >= 3
+        let sub = ((v >> (octave - 2)) & 3) as usize;
+        (octave - 1) * 4 + sub
+    }
+}
+
+/// Inclusive `(lo, hi)` value range of bucket `idx`.
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < 8 {
+        (idx as u64, idx as u64)
+    } else {
+        let octave = idx / 4 + 1;
+        let sub = (idx % 4) as u64;
+        let step = 1u64 << (octave - 2);
+        let lo = (1u64 << octave) + sub * step;
+        (lo, lo + (step - 1)) // parenthesized: lo + step wraps in the top octave
+    }
+}
+
+/// A fixed-size log-scale histogram of `u64` samples.
+///
+/// Deterministic by construction: recording the same multiset of
+/// samples always yields the same buckets, and [`LogHistogram::merge`]
+/// is an element-wise add, so merged summaries are independent of how
+/// samples were partitioned across recorders.
+///
+/// ```
+/// use tdc_util::obs::LogHistogram;
+/// let mut h = LogHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.quantile(0.50);
+/// assert!((448..=576).contains(&p50), "p50 {p50} off the log grid");
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("max", &self.max)
+            .field("p50", &self.quantile(0.50))
+            .finish()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self` (element-wise; order-independent).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as a bucket upper bound, clamped
+    /// to the recorded max; 0 when empty. `quantile(0.5)` is within
+    /// 12.5% of the true median for values ≥ 8, exact below.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                let (_, hi) = bucket_bounds(idx);
+                return hi.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The summary object every artifact embeds: exactly the
+    /// [`HIST_FIELDS`] keys, in order.
+    pub fn summary_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::from(self.count)),
+            ("sum", Json::from(self.sum)),
+            ("min", Json::from(self.min())),
+            ("max", Json::from(self.max)),
+            ("p50", Json::from(self.quantile(0.50))),
+            ("p90", Json::from(self.quantile(0.90))),
+            ("p99", Json::from(self.quantile(0.99))),
+        ])
+    }
+
+    /// Cumulative buckets for Prometheus text exposition: `(le, cum)`
+    /// pairs at power-of-two boundaries (inclusive upper bounds
+    /// `2^k - 1`, which align exactly with the internal bucket grid),
+    /// ending at the first boundary covering the recorded max. The
+    /// caller appends the `+Inf` bucket with [`LogHistogram::count`].
+    pub fn prometheus_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for k in 0..=40u32 {
+            let le = (1u64 << k) - 1;
+            let end = bucket_index(le + 1);
+            let cum: u64 = self.counts[..end].iter().sum();
+            out.push((le, cum));
+            if le >= self.max {
+                break;
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase profiler
+// ---------------------------------------------------------------------------
+
+/// Accumulated self-time per [`Phase`], fed by a span stack.
+///
+/// Nested spans subtract: a [`Phase::Dram`] span opened inside a
+/// [`Phase::Translation`] span charges the DRAM time to `dram` and
+/// only the remainder to `translation`, so phase self-times sum to
+/// the covered wall time exactly.
+#[derive(Debug, Clone, Default)]
+pub struct ProfRecorder {
+    self_ns: [u64; Phase::COUNT],
+    calls: [u64; Phase::COUNT],
+    hist: [LogHistogram; Phase::COUNT],
+    /// Open spans: `(phase, start, ns consumed by nested spans)`.
+    stack: Vec<(Phase, Instant, u64)>, // tdc-lint: allow(time-source)
+}
+
+impl ProfRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a span for `phase`.
+    pub fn begin(&mut self, phase: Phase) {
+        self.stack.push((phase, Instant::now(), 0)); // tdc-lint: allow(time-source)
+    }
+
+    /// Closes the innermost span, which must be for `phase`.
+    pub fn end(&mut self, phase: Phase) {
+        let Some((opened, start, child_ns)) = self.stack.pop() else {
+            debug_assert!(false, "phase_end({phase:?}) with no open span");
+            return;
+        };
+        debug_assert!(
+            opened == phase,
+            "phase_end({phase:?}) closes an open {opened:?} span"
+        );
+        let full_ns = start.elapsed().as_nanos() as u64;
+        self.record_span(opened, full_ns.saturating_sub(child_ns));
+        if let Some(top) = self.stack.last_mut() {
+            top.2 = top.2.saturating_add(full_ns);
+        }
+    }
+
+    /// Directly credits `self_ns` of self-time to `phase`, as if a
+    /// span of that length had closed with no children. Public so
+    /// tests and golden files can build deterministic reports.
+    pub fn record_span(&mut self, phase: Phase, self_ns: u64) {
+        let i = phase.index();
+        self.self_ns[i] += self_ns;
+        self.calls[i] += 1;
+        self.hist[i].record(self_ns);
+    }
+
+    /// Total self-time attributed to `phase`.
+    pub fn self_ns(&self, phase: Phase) -> u64 {
+        self.self_ns[phase.index()]
+    }
+
+    /// Number of spans closed for `phase`.
+    pub fn calls(&self, phase: Phase) -> u64 {
+        self.calls[phase.index()]
+    }
+
+    /// Distribution of per-span self-times for `phase`.
+    pub fn histogram(&self, phase: Phase) -> &LogHistogram {
+        &self.hist[phase.index()]
+    }
+
+    /// Sum of self-time over all phases: the covered wall time.
+    pub fn attributed_ns(&self) -> u64 {
+        self.self_ns.iter().sum()
+    }
+}
+
+/// The profiling probe: shares one [`ProfRecorder`] across every
+/// simulator layer of a probed run, collecting wall-time phase spans
+/// while leaving cycle-event recording off ([`Probe::enabled`] stays
+/// `false`, so a profiled run's artifacts are byte-identical to an
+/// unprobed run's).
+///
+/// Like [`crate::probe::SharedProbe`], deliberately `!Send`: a probed
+/// run executes on one thread and all clones feed one recorder.
+#[derive(Debug, Clone, Default)]
+pub struct ProfProbe {
+    inner: Rc<RefCell<ProfRecorder>>,
+}
+
+impl ProfProbe {
+    /// A probe over a fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` against the shared recorder.
+    pub fn with<R>(&self, f: impl FnOnce(&ProfRecorder) -> R) -> R {
+        f(&self.inner.borrow())
+    }
+
+    /// Recovers the recorder: by move when this is the last clone,
+    /// otherwise by clone.
+    pub fn into_recorder(self) -> ProfRecorder {
+        match Rc::try_unwrap(self.inner) {
+            Ok(cell) => cell.into_inner(),
+            Err(rc) => rc.borrow().clone(),
+        }
+    }
+}
+
+impl Probe for ProfProbe {
+    #[inline]
+    fn prof_enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn phase_begin(&mut self, phase: Phase) {
+        self.inner.borrow_mut().begin(phase);
+    }
+
+    #[inline]
+    fn phase_end(&mut self, phase: Phase) {
+        self.inner.borrow_mut().end(phase);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool telemetry
+// ---------------------------------------------------------------------------
+
+/// Per-worker counters from one [`crate::pool::run_tasks_telemetry`]
+/// batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerTelemetry {
+    /// Tasks this worker completed.
+    pub tasks: u64,
+    /// Nanoseconds spent inside task closures.
+    pub busy_ns: u64,
+    /// Pool wall time minus busy time: time this worker sat idle
+    /// (startup skew, queue exhaustion, straggler tail).
+    pub idle_ns: u64,
+}
+
+/// One task's execution window, for the Perfetto pool track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskSpan {
+    /// Worker that ran the task.
+    pub worker: usize,
+    /// Task index in input order.
+    pub index: usize,
+    /// Start offset from pool launch, ns.
+    pub start_ns: u64,
+    /// Task duration, ns.
+    pub dur_ns: u64,
+}
+
+/// Scheduler telemetry for one worker-pool batch.
+#[derive(Debug, Clone, Default)]
+pub struct PoolTelemetry {
+    /// Per-worker counters, indexed by worker id.
+    pub workers: Vec<WorkerTelemetry>,
+    /// Every task's execution window, sorted by `(start_ns, index)`.
+    pub spans: Vec<TaskSpan>,
+    /// Samples of remaining-queue depth taken at each dequeue.
+    pub queue_depth: LogHistogram,
+    /// Wall time of the whole batch, ns.
+    pub wall_ns: u64,
+}
+
+impl PoolTelemetry {
+    /// The `metrics.json` fragment for this batch: wall time, a
+    /// queue-depth histogram summary, and per-worker counters.
+    pub fn metrics_json(&self) -> Json {
+        Json::obj([
+            ("wall_ns", Json::from(self.wall_ns)),
+            ("queue_depth", self.queue_depth.summary_json()),
+            (
+                "workers",
+                Json::arr(self.workers.iter().map(|w| {
+                    Json::obj([
+                        ("tasks", Json::from(w.tasks)),
+                        ("busy_ns", Json::from(w.busy_ns)),
+                        ("idle_ns", Json::from(w.idle_ns)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+/// Renders pool batches as a Chrome trace-event document: one process
+/// per batch, one thread per worker, one duration slice per task
+/// (named by the caller-supplied label for that task index).
+pub fn pool_trace_json(batches: &[(PoolTelemetry, Vec<String>)]) -> Json {
+    let mut events = Vec::new();
+    for (b, (telemetry, labels)) in batches.iter().enumerate() {
+        let pid = b as u64 + 1;
+        events.push(Json::obj([
+            ("name", Json::from("process_name")),
+            ("ph", Json::from("M")),
+            ("pid", Json::from(pid)),
+            ("tid", Json::from(0u64)),
+            (
+                "args",
+                Json::obj([("name", Json::from(format!("tdc pool batch {pid}")))]),
+            ),
+        ]));
+        for w in 0..telemetry.workers.len() {
+            events.push(Json::obj([
+                ("name", Json::from("thread_name")),
+                ("ph", Json::from("M")),
+                ("pid", Json::from(pid)),
+                ("tid", Json::from(w as u64 + 1)),
+                ("args", Json::obj([("name", Json::from(format!("worker{w}")))])),
+            ]));
+        }
+        for span in &telemetry.spans {
+            let name = labels
+                .get(span.index)
+                .cloned()
+                .unwrap_or_else(|| format!("task-{}", span.index));
+            events.push(Json::obj([
+                ("name", Json::from(name)),
+                ("ph", Json::from("X")),
+                ("pid", Json::from(pid)),
+                ("tid", Json::from(span.worker as u64 + 1)),
+                ("ts", Json::from(span.start_ns / 1_000)),
+                ("dur", Json::from((span.dur_ns / 1_000).max(1))),
+            ]));
+        }
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::from("ms")),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Structured event log
+// ---------------------------------------------------------------------------
+
+/// Schema version stamped on every event-log line.
+pub const EVENT_VERSION: u64 = 1;
+
+/// Field names of one `events.jsonl` line, in writer order.
+/// Lint-pinned to the DESIGN.md §13 `events.jsonl` block.
+pub const EVENT_FIELDS: [&str; 6] =
+    ["format_version", "ts_us", "request_id", "span", "event", "detail"];
+
+/// What happened at one event-log emission site. The set is closed
+/// and lint-checked like [`crate::probe::ProbeEvent`]: every variant
+/// must have an emit site outside `crates/util` (`probe-coverage`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A request arrived (detail: method and target).
+    RequestBegin,
+    /// A request finished (detail: response status).
+    RequestEnd,
+    /// A cell was executed by the engine (detail: cache key).
+    Execute,
+    /// A request joined another in-flight execution of the same cell.
+    DedupJoin,
+    /// A cell was served from the in-memory cache.
+    MemHit,
+    /// A cell was served from the persistent result store.
+    StoreHit,
+    /// A request was turned away by admission control.
+    Reject,
+    /// The engine failed to execute a cell (detail: error).
+    EngineError,
+}
+
+impl EventKind {
+    /// Stable machine-readable name written to the log.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::RequestBegin => "request_begin",
+            EventKind::RequestEnd => "request_end",
+            EventKind::Execute => "execute",
+            EventKind::DedupJoin => "dedup_join",
+            EventKind::MemHit => "mem_hit",
+            EventKind::StoreHit => "store_hit",
+            EventKind::Reject => "reject",
+            EventKind::EngineError => "engine_error",
+        }
+    }
+}
+
+/// The span-correlated JSONL event log.
+///
+/// One compact JSON object per line with exactly the [`EVENT_FIELDS`]
+/// keys; `ts_us` is microseconds since the log was opened (host time,
+/// so the file is excluded from determinism comparisons). Lines are
+/// flushed as written so the log can be tailed against a live daemon.
+pub struct EventLog {
+    out: Mutex<BufWriter<File>>,
+    start: Instant, // tdc-lint: allow(time-source)
+}
+
+impl fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventLog").finish_non_exhaustive()
+    }
+}
+
+impl EventLog {
+    /// Creates (or truncates) the log at `path`, creating parent
+    /// directories as needed.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(Self {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+            start: Instant::now(), // tdc-lint: allow(time-source)
+        })
+    }
+
+    /// Appends one event line. `request_id` is rendered as `r%06d` so
+    /// the same id is greppable across every span it flows through.
+    pub fn emit(&self, request_id: u64, span: &str, event: EventKind, detail: &str) {
+        let line = Json::obj([
+            ("format_version", Json::from(EVENT_VERSION)),
+            ("ts_us", Json::from(self.start.elapsed().as_micros() as u64)),
+            ("request_id", Json::from(format!("r{request_id:06}"))),
+            ("span", Json::from(span)),
+            ("event", Json::from(event.as_str())),
+            ("detail", Json::from(detail)),
+        ])
+        .to_compact();
+        let mut out = self
+            .out
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // Telemetry writes are fire-and-forget: a full disk must not
+        // take the serving path down with it.
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_buckets_below_eight() {
+        for v in 0..8u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_monotonic() {
+        // Every bucket's range starts right after the previous one's.
+        let mut expected_lo = 0u64;
+        for idx in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            assert_eq!(lo, expected_lo, "bucket {idx} lo");
+            assert!(hi >= lo, "bucket {idx} empty");
+            if idx + 1 < HIST_BUCKETS {
+                expected_lo = hi + 1;
+            } else {
+                assert_eq!(hi, u64::MAX, "last bucket must reach u64::MAX");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_index_matches_bounds() {
+        let probes = [
+            0, 1, 7, 8, 9, 15, 16, 17, 100, 1023, 1024, 1025, 1 << 20,
+            (1 << 20) + 123, u64::MAX / 2, u64::MAX - 1, u64::MAX,
+        ];
+        for &v in &probes {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(
+                (lo..=hi).contains(&v),
+                "v={v} -> bucket {idx} [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Bucket width / lower bound <= 1/4 for v >= 8, so quantile
+        // answers are within 12.5% of a true sample value above the
+        // exact range.
+        for idx in 8..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            let width = hi - lo + 1;
+            assert!(width * 4 <= lo, "bucket {idx} [{lo}, {hi}] too wide");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.prometheus_buckets(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let mut h = LogHistogram::new();
+        h.record(5);
+        assert_eq!(h.quantile(0.0), 5);
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 5);
+        let mut big = LogHistogram::new();
+        big.record(1_000_000);
+        // One sample: every quantile is clamped to the recorded max.
+        assert_eq!(big.quantile(0.5), 1_000_000);
+    }
+
+    #[test]
+    fn quantiles_bracket_true_values() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, truth) in [(0.50, 5_000u64), (0.90, 9_000), (0.99, 9_900)] {
+            let got = h.quantile(q);
+            let err = got.abs_diff(truth) as f64 / truth as f64;
+            assert!(err <= 0.125, "q={q}: got {got}, truth {truth}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_recorder() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for v in 0..5_000u64 {
+            let sample = v.wrapping_mul(2_654_435_761) % 1_000_000;
+            if v % 2 == 0 {
+                a.record(sample);
+            } else {
+                b.record(sample);
+            }
+            whole.record(sample);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        // Merge the other way round: same result.
+        let mut flipped = b.clone();
+        flipped.merge(&a);
+        assert_eq!(flipped, whole);
+    }
+
+    #[test]
+    fn summary_json_has_exactly_the_documented_fields() {
+        let mut h = LogHistogram::new();
+        h.record(42);
+        let text = h.summary_json().to_compact();
+        let parsed = Json::parse(&text).expect("summary parses");
+        for field in HIST_FIELDS {
+            assert!(parsed.get(field).is_some(), "missing {field}");
+        }
+        let Json::Obj(pairs) = parsed else {
+            panic!("summary is not an object")
+        };
+        assert_eq!(pairs.len(), HIST_FIELDS.len());
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_cover_max() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 2, 3, 100, 1000, 5000] {
+            h.record(v);
+        }
+        let buckets = h.prometheus_buckets();
+        let mut prev = 0;
+        for &(le, cum) in &buckets {
+            assert!(cum >= prev, "cumulative counts must be monotonic");
+            let by_hand = [1u64, 2, 3, 100, 1000, 5000]
+                .iter()
+                .filter(|&&v| v <= le)
+                .count() as u64;
+            assert_eq!(cum, by_hand, "le={le}");
+            prev = cum;
+        }
+        let last = buckets.last().expect("non-empty");
+        assert!(last.0 >= h.max());
+        assert_eq!(last.1, h.count());
+    }
+
+    #[test]
+    fn prof_recorder_subtracts_nested_spans() {
+        use std::thread::sleep;
+        use std::time::Duration;
+        let mut rec = ProfRecorder::new();
+        rec.begin(Phase::Bookkeeping);
+        rec.begin(Phase::Dram);
+        sleep(Duration::from_millis(5));
+        rec.end(Phase::Dram);
+        rec.end(Phase::Bookkeeping);
+        let dram = rec.self_ns(Phase::Dram);
+        assert!(dram >= 4_000_000, "dram span too short: {dram}");
+        // The parent's self time excludes the nested 5ms.
+        assert!(
+            rec.self_ns(Phase::Bookkeeping) < dram,
+            "nested time was double-counted"
+        );
+        assert_eq!(rec.calls(Phase::Dram), 1);
+        assert_eq!(rec.calls(Phase::Bookkeeping), 1);
+        assert_eq!(
+            rec.attributed_ns(),
+            rec.self_ns(Phase::Dram) + rec.self_ns(Phase::Bookkeeping)
+        );
+    }
+
+    #[test]
+    fn prof_probe_shares_one_recorder_across_clones() {
+        let probe = ProfProbe::new();
+        let mut a = probe.clone();
+        let mut b = probe.clone();
+        assert!(a.prof_enabled());
+        assert!(!a.enabled(), "ProfProbe must not record cycle events");
+        a.phase_begin(Phase::Ctlb);
+        a.phase_end(Phase::Ctlb);
+        b.phase_begin(Phase::Gipt);
+        b.phase_end(Phase::Gipt);
+        let rec = probe.into_recorder();
+        assert_eq!(rec.calls(Phase::Ctlb), 1);
+        assert_eq!(rec.calls(Phase::Gipt), 1);
+    }
+
+    #[test]
+    fn record_span_feeds_deterministic_reports() {
+        let mut rec = ProfRecorder::new();
+        rec.record_span(Phase::Translation, 1_000);
+        rec.record_span(Phase::Translation, 3_000);
+        assert_eq!(rec.self_ns(Phase::Translation), 4_000);
+        assert_eq!(rec.calls(Phase::Translation), 2);
+        assert_eq!(rec.histogram(Phase::Translation).count(), 2);
+        assert_eq!(rec.attributed_ns(), 4_000);
+    }
+
+    #[test]
+    fn event_log_writes_schema_conforming_lines() {
+        let dir = std::env::temp_dir().join(format!(
+            "tdc-obs-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let path = dir.join("events.jsonl");
+        let log = EventLog::create(&path).expect("create event log");
+        log.emit(7, "request", EventKind::RequestBegin, "POST /sweep");
+        log.emit(7, "cell", EventKind::Execute, "fig1/mcf/tagless");
+        let text = std::fs::read_to_string(&path).expect("read log");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let parsed = Json::parse(line).expect("line parses");
+            let Json::Obj(pairs) = &parsed else {
+                panic!("line is not an object")
+            };
+            assert_eq!(pairs.len(), EVENT_FIELDS.len());
+            for field in EVENT_FIELDS {
+                assert!(parsed.get(field).is_some(), "missing {field}");
+            }
+            assert_eq!(
+                parsed.get("format_version").and_then(Json::as_u64),
+                Some(EVENT_VERSION)
+            );
+            assert_eq!(
+                parsed.get("request_id").and_then(Json::as_str),
+                Some("r000007")
+            );
+        }
+        assert_eq!(
+            Json::parse(lines[1]).expect("parses").get("event").and_then(Json::as_str),
+            Some("execute")
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pool_trace_json_names_tasks_by_label() {
+        let telemetry = PoolTelemetry {
+            workers: vec![WorkerTelemetry::default(); 2],
+            spans: vec![
+                TaskSpan { worker: 0, index: 0, start_ns: 0, dur_ns: 2_000 },
+                TaskSpan { worker: 1, index: 1, start_ns: 500, dur_ns: 1_000 },
+            ],
+            queue_depth: LogHistogram::new(),
+            wall_ns: 2_000,
+        };
+        let labels = vec!["fig1/mcf".to_string(), "fig2/milc".to_string()];
+        let doc = pool_trace_json(&[(telemetry, labels)]);
+        let text = doc.to_compact();
+        assert!(text.contains("\"fig1/mcf\""));
+        assert!(text.contains("\"fig2/milc\""));
+        assert!(text.contains("\"process_name\""));
+        assert!(text.contains("\"worker1\""));
+    }
+}

@@ -8,12 +8,21 @@
 //!
 //! Scheduling order must be irrelevant to results: each call should be a
 //! pure function of its item (and index), so outputs are bit-identical
-//! whether the batch runs on one thread or sixteen. The pool itself does
-//! no timing and no I/O; callers that want per-task wall-clock or progress
-//! reporting do it inside the closure (see `tdc-harness::pool`).
+//! whether the batch runs on one thread or sixteen. [`run_tasks`] itself
+//! does no timing and no I/O; callers that want per-task wall-clock or
+//! progress reporting do it inside the closure (see `tdc-harness::pool`).
+//!
+//! [`run_tasks_telemetry`] is the observable variant: identical results
+//! and scheduling, plus per-worker scheduler telemetry
+//! ([`crate::obs::PoolTelemetry`] — tasks run, busy/idle ns, queue-depth
+//! samples, per-task spans) for `results/metrics.json` and the Perfetto
+//! pool track. The timing it collects is about the schedule, never an
+//! input to any task, so result determinism is unaffected.
 
+use crate::obs::{LogHistogram, PoolTelemetry, TaskSpan, WorkerTelemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant; // tdc-lint: allow(time-source) schedule telemetry only
 
 /// Runs `work(index, &items[index])` for every item on `threads` worker
 /// threads and returns the results in input order.
@@ -57,6 +66,102 @@ where
         .collect()
 }
 
+/// Like [`run_tasks`], additionally collecting scheduler telemetry:
+/// per-worker task counts and busy/idle time, queue-depth samples at
+/// each dequeue, and one span per task for trace export.
+///
+/// The results vector is computed exactly as [`run_tasks`] computes it;
+/// only the telemetry side-channel differs. `idle_ns` is the pool wall
+/// time minus the worker's busy time, which makes straggler tails
+/// (ROADMAP's work-stealing motivation) directly visible.
+pub fn run_tasks_telemetry<T, R, F>(
+    items: &[T],
+    threads: usize,
+    work: F,
+) -> (Vec<R>, PoolTelemetry)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let total = items.len();
+    if total == 0 {
+        return (Vec::new(), PoolTelemetry::default());
+    }
+    let threads = threads.clamp(1, total);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    struct WorkerLog {
+        tasks: u64,
+        busy_ns: u64,
+        spans: Vec<TaskSpan>,
+        depth: LogHistogram,
+    }
+    let logs: Vec<Mutex<WorkerLog>> = (0..threads)
+        .map(|_| {
+            Mutex::new(WorkerLog {
+                tasks: 0,
+                busy_ns: 0,
+                spans: Vec::new(),
+                depth: LogHistogram::new(),
+            })
+        })
+        .collect();
+    let launch = Instant::now(); // tdc-lint: allow(time-source)
+
+    std::thread::scope(|scope| {
+        let (work, next, slots) = (&work, &next, &slots);
+        for (worker, log) in logs.iter().enumerate() {
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let start = Instant::now(); // tdc-lint: allow(time-source)
+                let result = work(i, &items[i]);
+                let dur_ns = start.elapsed().as_nanos() as u64;
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                let mut log = log.lock().expect("telemetry log poisoned");
+                log.tasks += 1;
+                log.busy_ns += dur_ns;
+                log.depth.record((total - 1 - i) as u64);
+                log.spans.push(TaskSpan {
+                    worker,
+                    index: i,
+                    start_ns: start.duration_since(launch).as_nanos() as u64,
+                    dur_ns,
+                });
+            });
+        }
+    });
+
+    let wall_ns = launch.elapsed().as_nanos() as u64;
+    let mut telemetry = PoolTelemetry {
+        wall_ns,
+        ..PoolTelemetry::default()
+    };
+    for log in logs {
+        let log = log.into_inner().expect("telemetry log poisoned");
+        telemetry.workers.push(WorkerTelemetry {
+            tasks: log.tasks,
+            busy_ns: log.busy_ns,
+            idle_ns: wall_ns.saturating_sub(log.busy_ns),
+        });
+        telemetry.queue_depth.merge(&log.depth);
+        telemetry.spans.extend(log.spans);
+    }
+    telemetry.spans.sort_by_key(|s| (s.start_ns, s.index));
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker scope joined with task unfinished")
+        })
+        .collect();
+    (results, telemetry)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +200,39 @@ mod tests {
         let items = vec!["a", "bb", "ccc"];
         let out = run_tasks(&items, 2, |i, s| format!("{i}:{s}"));
         assert_eq!(out, vec!["0:a", "1:bb", "2:ccc"]);
+    }
+
+    #[test]
+    fn telemetry_variant_matches_plain_results() {
+        let items: Vec<u64> = (0..50).collect();
+        let f = |i: usize, &x: &u64| x.wrapping_mul(i as u64 + 3);
+        let plain = run_tasks(&items, 4, f);
+        let (traced, telemetry) = run_tasks_telemetry(&items, 4, f);
+        assert_eq!(plain, traced);
+        assert_eq!(telemetry.workers.len(), 4);
+        let tasks: u64 = telemetry.workers.iter().map(|w| w.tasks).sum();
+        assert_eq!(tasks, 50);
+        assert_eq!(telemetry.spans.len(), 50);
+        assert_eq!(telemetry.queue_depth.count(), 50);
+        // Every input index executed exactly once.
+        let mut seen: Vec<usize> = telemetry.spans.iter().map(|s| s.index).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..50).collect::<Vec<_>>());
+        for w in &telemetry.workers {
+            assert_eq!(
+                w.busy_ns + w.idle_ns,
+                telemetry.wall_ns.max(w.busy_ns),
+                "busy + idle must cover the batch wall time"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_on_empty_input_is_empty() {
+        let none: Vec<u8> = Vec::new();
+        let (out, telemetry) = run_tasks_telemetry(&none, 4, |_, &x| x);
+        assert!(out.is_empty());
+        assert!(telemetry.workers.is_empty());
+        assert_eq!(telemetry.queue_depth.count(), 0);
     }
 }

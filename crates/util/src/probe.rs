@@ -274,6 +274,72 @@ impl ProbeEvent {
     }
 }
 
+/// A named slice of simulator wall time, for phase attribution.
+///
+/// These are *host-time* spans (where does the simulation spend its
+/// own wall clock), not simulated-cycle events: `tdc prof` runs one
+/// probed cell with a [`crate::obs::ProfProbe`] and reports how the
+/// run's wall time splits across these phases. The set is closed and
+/// lint-checked: every variant declared here must have at least one
+/// emit site in a simulator crate (`probe-coverage` rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Address translation: the tagless translate path or, for
+    /// conventional organizations, the whole L3 translate call.
+    Translation,
+    /// cTLB lookups and inserts inside the tagless MMU.
+    Ctlb,
+    /// GIPT insert/remove and the off-package PTE maintenance writes.
+    Gipt,
+    /// L3 cache data access and writeback handling.
+    CacheAccess,
+    /// DRAM controller timing (both devices).
+    Dram,
+    /// Everything else in the run loop: trace generation, core
+    /// bookkeeping, statistics assembly.
+    Bookkeeping,
+}
+
+impl Phase {
+    /// Number of phases, for fixed-size accumulator arrays.
+    pub const COUNT: usize = 6;
+
+    /// All phases in report order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Translation,
+        Phase::Ctlb,
+        Phase::Gipt,
+        Phase::CacheAccess,
+        Phase::Dram,
+        Phase::Bookkeeping,
+    ];
+
+    /// Dense index into per-phase accumulator arrays.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Translation => 0,
+            Phase::Ctlb => 1,
+            Phase::Gipt => 2,
+            Phase::CacheAccess => 3,
+            Phase::Dram => 4,
+            Phase::Bookkeeping => 5,
+        }
+    }
+
+    /// Stable machine-readable name used in `prof.json` and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Translation => "translation",
+            Phase::Ctlb => "ctlb",
+            Phase::Gipt => "gipt",
+            Phase::CacheAccess => "cache_access",
+            Phase::Dram => "dram",
+            Phase::Bookkeeping => "bookkeeping",
+        }
+    }
+}
+
 /// The instrumentation hook every simulator layer is generic over.
 ///
 /// The default methods make any implementor opt-in per event; the
@@ -300,6 +366,28 @@ pub trait Probe {
     #[inline(always)]
     fn emit(&mut self, now: Cycle, event: ProbeEvent) {
         let _ = (now, event);
+    }
+
+    /// Whether wall-time phase spans are observed. Separate from
+    /// [`Probe::enabled`] so a profiling probe can collect phase
+    /// timings without paying for cycle-event recording (and vice
+    /// versa); `false` lets the optimizer delete the span calls.
+    #[inline(always)]
+    fn prof_enabled(&self) -> bool {
+        false
+    }
+
+    /// Opens a wall-time span attributed to `phase`. Call sites guard
+    /// with [`Probe::prof_enabled`], mirroring `enabled`/`emit`.
+    #[inline(always)]
+    fn phase_begin(&mut self, phase: Phase) {
+        let _ = phase;
+    }
+
+    /// Closes the innermost open span, which must be for `phase`.
+    #[inline(always)]
+    fn phase_end(&mut self, phase: Phase) {
+        let _ = phase;
     }
 }
 

@@ -48,6 +48,10 @@ echo "== smoke: tdc trace (probed run, Perfetto export) =="
 test -s "$out/runs/mcf_ctlb.timeseries.json" || { echo "trace wrote no timeseries" >&2; exit 1; }
 test -s "$out/trace/mcf_ctlb.trace.json" || { echo "trace wrote no trace.json" >&2; exit 1; }
 
+echo "== smoke: tdc prof (phase attribution, >= 95% of wall accounted) =="
+./target/release/tdc prof mcf/ctlb --scale 0.02 --out "$out" --min-attributed 95
+test -s "$out/prof.json" || { echo "prof wrote no prof.json" >&2; exit 1; }
+
 echo "== smoke: 2-way shard + merge + diff gate at 25% scale =="
 ./target/release/tdc shard 1/2 --scale 0.25 --jobs 2 --quiet --out "$out/s1"
 ./target/release/tdc shard 2/2 --scale 0.25 --jobs 2 --quiet --out "$out/s2"
@@ -63,7 +67,8 @@ echo "== regression: tdc diff vs baselines/scale-0.25 =="
 echo "== smoke: tdc serve daemon + bench load generator + dedup gate =="
 serve_log="$out/serve.log"
 ./target/release/tdc serve --addr 127.0.0.1:0 --scale 0.01 --jobs 2 \
-    --cache-dir "$out/serve-store" --quiet >"$serve_log" 2>&1 &
+    --cache-dir "$out/serve-store" --events "$out/events.jsonl" \
+    --quiet >"$serve_log" 2>&1 &
 serve_pid=$!
 addr=""
 for _ in $(seq 1 100); do
@@ -73,6 +78,20 @@ for _ in $(seq 1 100); do
 done
 [ -n "$addr" ] || { echo "serve daemon never reported its address" >&2
                     kill "$serve_pid" 2>/dev/null; exit 1; }
+
+echo "== smoke: /metrics.prom scrape (Prometheus text exposition) =="
+# One request per connection (Connection: close), so bash's /dev/tcp is
+# scraper enough — no curl dependency.
+prom="$out/metrics.prom"
+exec 3<>"/dev/tcp/${addr%:*}/${addr##*:}"
+printf 'GET /metrics.prom HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n' "$addr" >&3
+cat <&3 >"$prom"
+exec 3<&- 3>&-
+grep -q '# TYPE tdc_requests_total counter' "$prom" \
+    || { echo "scrape missing tdc_requests_total" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+grep -q 'tdc_request_duration_us_bucket{le="+Inf"}' "$prom" \
+    || { echo "scrape missing latency histogram" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+
 bench_out="$(./target/release/tdc serve --bench --addr "$addr" \
     --requests 40 --clients 4 --scale 0.01 --expect-speedup 2 --shutdown)" \
     || { echo "serve bench failed" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
@@ -83,6 +102,8 @@ grep -q 'server work counters:' <<<"$bench_out" \
 if grep -q 'server work counters: deduped=0 mem_hits=0' <<<"$bench_out"; then
     echo "serve bench saw no request deduplication" >&2; exit 1
 fi
+grep -q '"event":"request_begin"' "$out/events.jsonl" \
+    || { echo "daemon wrote no structured events" >&2; exit 1; }
 
 echo "== perf: tdc bench run twice + noise-aware gate =="
 # Hermetic gate: record -> promote to a throwaway baseline -> record
