@@ -226,6 +226,9 @@ impl ConventionalFront {
                         unreachable!("conventional PTEs never hold cache addresses")
                     }
                 };
+                // Fixed-capacity set-associative TLB fill: it displaces
+                // a slot in place, no heap allocation behind it.
+                // tdc-lint: allow(hot-path-alloc)
                 mmu.insert(vpn, TlbEntry::physical(ppn, pte.nc));
                 ConvTranslation {
                     ppn,

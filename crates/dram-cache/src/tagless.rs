@@ -510,6 +510,11 @@ impl<P: Probe> TaglessCache<P> {
     }
 
     /// The cTLB miss handler (Fig. 4). Returns `(frame, nc, done)`.
+    ///
+    /// This is the paper's designed slow path — a page walk plus a page
+    /// fill dominate it, so the bookkeeping maps it updates are noise
+    /// next to the DRAM traffic and exempt from the hot-path budget.
+    // tdc-lint: cold
     fn miss_handler(&mut self, now: Cycle, core: usize, vpn: Vpn) -> (Frame, bool, Cycle) {
         let asid = self.core_asid[core];
         let l2_lat = self.mmus[core].params().l2_latency;

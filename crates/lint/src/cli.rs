@@ -1,9 +1,12 @@
 //! The `tdc lint` subcommand.
 
 use crate::engine::{self, Config};
+use crate::rules::{explain, RULES};
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::PathBuf;
 
+#[derive(Debug)]
 struct Options {
     root: Option<PathBuf>,
     jobs: Option<usize>,
@@ -11,6 +14,8 @@ struct Options {
     ratchet: Option<PathBuf>,
     update_ratchet: bool,
     quiet: bool,
+    only: Option<BTreeSet<String>>,
+    explain: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -36,6 +41,9 @@ OPTIONS:
     --no-out         Skip writing lint.json
     --ratchet FILE   Ratchet file (default: <root>/lint.ratchet)
     --update-ratchet Rewrite the ratchet to current findings and exit 0
+    --only RULE[,..] Report only these rules (repeatable); stale-ratchet
+                     checks are restricted to them too
+    --explain RULE   Print the long explanation for one rule and exit
     --quiet          Suppress the summary line on success
     -h, --help       Show this help";
 
@@ -47,6 +55,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
         ratchet: None,
         update_ratchet: false,
         quiet: false,
+        only: None,
+        explain: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -69,12 +79,42 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--no-out" => opts.out = None,
             "--ratchet" => opts.ratchet = Some(PathBuf::from(value("--ratchet")?)),
             "--update-ratchet" => opts.update_ratchet = true,
+            "--only" => {
+                let set = opts.only.get_or_insert_with(BTreeSet::new);
+                for rule in value("--only")?.split(',') {
+                    let rule = rule.trim();
+                    if rule.is_empty() {
+                        continue;
+                    }
+                    known_rule(rule)?;
+                    set.insert(rule.to_string());
+                }
+            }
+            "--explain" => {
+                let rule = value("--explain")?;
+                known_rule(&rule)?;
+                opts.explain = Some(rule);
+            }
             "--quiet" => opts.quiet = true,
             "-h" | "--help" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}' (try 'tdc lint -h')")),
         }
     }
+    if opts.update_ratchet && opts.only.is_some() {
+        // A partial run would rewrite the ratchet with only the
+        // selected rules' counts, silently dropping everything else.
+        return Err("--update-ratchet cannot be combined with --only".to_string());
+    }
     Ok(opts)
+}
+
+/// Rejects rule ids that are not in the catalogue, listing what is.
+fn known_rule(rule: &str) -> Result<(), String> {
+    if RULES.iter().any(|(id, _)| *id == rule) {
+        return Ok(());
+    }
+    let ids: Vec<&str> = RULES.iter().map(|(id, _)| *id).collect();
+    Err(format!("unknown rule '{rule}' (rules: {})", ids.join(", ")))
 }
 
 /// Runs `tdc lint` with `args` (without the subcommand name). Returns
@@ -87,6 +127,16 @@ pub fn run(args: &[String]) -> i32 {
             return 2;
         }
     };
+    if let Some(rule) = &opts.explain {
+        let summary = RULES
+            .iter()
+            .find(|(id, _)| id == rule)
+            .map(|(_, s)| *s)
+            .unwrap_or_default();
+        let text = explain(rule).unwrap_or_default();
+        println!("{rule}: {summary}\n\n{text}");
+        return 0;
+    }
     let root = match opts.root.clone().or_else(|| {
         std::env::current_dir()
             .ok()
@@ -104,6 +154,7 @@ pub fn run(args: &[String]) -> i32 {
         cfg.jobs = jobs;
     }
     cfg.ratchet = opts.ratchet.clone();
+    cfg.only = opts.only.clone();
 
     let report = match engine::run(&cfg) {
         Ok(r) => r,
@@ -170,5 +221,36 @@ mod tests {
         assert!(parse(&["--frob".to_string()]).is_err());
         assert!(parse(&["--jobs".to_string()]).is_err());
         assert!(parse(&["-h".to_string()]).is_err());
+    }
+
+    #[test]
+    fn parse_only_accumulates_and_validates() {
+        let args: Vec<String> = ["--only", "hot-path-alloc,lock-order", "--only", "panic-reachability"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse(&args).expect("valid rules");
+        let only = o.only.expect("set");
+        assert_eq!(only.len(), 3);
+        assert!(only.contains("lock-order"));
+
+        let bad = parse(&["--only".to_string(), "no-such-rule".to_string()]);
+        assert!(bad.unwrap_err().contains("unknown rule"));
+    }
+
+    #[test]
+    fn parse_explain_validates_rule() {
+        let o = parse(&["--explain".to_string(), "graph-schema".to_string()]).expect("known");
+        assert_eq!(o.explain.as_deref(), Some("graph-schema"));
+        assert!(parse(&["--explain".to_string(), "bogus".to_string()]).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_partial_ratchet_update() {
+        let args: Vec<String> = ["--update-ratchet", "--only", "lock-order"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse(&args).unwrap_err().contains("cannot be combined"));
     }
 }

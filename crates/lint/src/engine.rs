@@ -20,12 +20,14 @@
 //!    the file. Entries whose count exceeds reality are reported as
 //!    stale so the ratchet never loosens silently.
 
+use crate::graph::{self, GraphSummary, GRAPH_VERSION};
 use crate::lexer::{scan, ScannedFile};
+use crate::parser::{parse, ParsedFile};
 use crate::rules::{
-    bench_schema, design_constants, figure_baselines, line_rules, manifest_schema, obs_schema,
-    probe_coverage, wire_schema, RawFinding, RULES,
+    bench_schema, design_constants, figure_baselines, graph_schema, line_rules, manifest_schema,
+    obs_schema, probe_coverage, wire_schema, RawFinding, RULES,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -73,6 +75,8 @@ pub struct StaleEntry {
 #[derive(Debug)]
 pub struct LintReport {
     pub files_scanned: usize,
+    /// Call-graph summary from the second (resolve) pass.
+    pub graph: GraphSummary,
     /// All findings, sorted by `(file, line, rule)`.
     pub findings: Vec<Finding>,
     pub stale: Vec<StaleEntry>,
@@ -87,6 +91,10 @@ pub struct Config {
     pub jobs: usize,
     /// Ratchet file path; `None` means `<root>/lint.ratchet`.
     pub ratchet: Option<PathBuf>,
+    /// Restrict the report to these rule ids (`--only`); `None` runs
+    /// everything. Stale-ratchet reporting is restricted the same way
+    /// so filtered-out rules don't read as stale.
+    pub only: Option<BTreeSet<String>>,
 }
 
 impl Config {
@@ -96,6 +104,7 @@ impl Config {
             root: root.into(),
             jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             ratchet: None,
+            only: None,
         }
     }
 
@@ -169,6 +178,21 @@ impl LintReport {
                     ("allowed", Json::U64(self.count(Status::Allowed) as u64)),
                 ]),
             ),
+            (
+                "graph",
+                Json::obj([
+                    ("format_version", Json::U64(GRAPH_VERSION)),
+                    ("functions", Json::U64(self.graph.functions as u64)),
+                    ("edges", Json::U64(self.graph.edges as u64)),
+                    (
+                        "roots",
+                        Json::obj([
+                            ("hot", Json::U64(self.graph.hot_roots as u64)),
+                            ("handlers", Json::U64(self.graph.handler_roots as u64)),
+                        ]),
+                    ),
+                ]),
+            ),
             ("findings", findings),
             ("stale_ratchet", stale),
         ])
@@ -195,8 +219,11 @@ impl LintReport {
         }
         let _ = writeln!(
             out,
-            "tdc-lint: {} files scanned, {} new finding(s), {} grandfathered, {} allowed",
+            "tdc-lint: {} files scanned, {} fns / {} edges in call graph, \
+             {} new finding(s), {} grandfathered, {} allowed",
             self.files_scanned,
+            self.graph.functions,
+            self.graph.edges,
             self.new_count(),
             self.count(Status::Grandfathered),
             self.count(Status::Allowed),
@@ -321,22 +348,26 @@ pub fn run(cfg: &Config) -> io::Result<LintReport> {
     let paths = collect_sources(&cfg.root)?;
     let files_scanned = paths.len();
 
-    // Scan and run the per-line rules in parallel through the shared
-    // worker pool; results come back in input (sorted-path) order.
-    type Scanned = Result<(String, ScannedFile, Vec<RawFinding>), String>;
+    // Pass 1: scan, parse, and run the per-line rules in parallel
+    // through the shared worker pool; results come back in input
+    // (sorted-path) order.
+    type Scanned = Result<(String, ScannedFile, ParsedFile, Vec<RawFinding>), String>;
     let scanned: Vec<Scanned> = tdc_util::pool::run_tasks(&paths, cfg.jobs, |_, rel| {
         let text =
             fs::read_to_string(cfg.root.join(rel)).map_err(|e| format!("{rel}: {e}"))?;
         let file = scan(&text);
+        let parsed = parse(&file);
         let found = line_rules(rel, &file);
-        Ok((rel.clone(), file, found))
+        Ok((rel.clone(), file, parsed, found))
     });
 
     let mut files: BTreeMap<String, ScannedFile> = BTreeMap::new();
+    let mut parsed_files: BTreeMap<String, ParsedFile> = BTreeMap::new();
     let mut raw: Vec<RawFinding> = Vec::new();
     for item in scanned {
-        let (rel, file, found) = item.map_err(io::Error::other)?;
-        files.insert(rel, file);
+        let (rel, file, parsed, found) = item.map_err(io::Error::other)?;
+        files.insert(rel.clone(), file);
+        parsed_files.insert(rel, parsed);
         raw.extend(found);
     }
 
@@ -350,6 +381,20 @@ pub fn run(cfg: &Config) -> io::Result<LintReport> {
         raw.extend(bench_schema(&files, &design_text));
         raw.extend(wire_schema(&files, &design_text));
         raw.extend(obs_schema(&files, &design_text));
+        raw.extend(graph_schema(&files, &design_text));
+    }
+
+    // Pass 2: resolve the workspace call graph and run the graph rule
+    // families on it.
+    let g = graph::build(&parsed_files);
+    raw.extend(graph::hot_path_alloc(&parsed_files, &g));
+    raw.extend(graph::panic_reachability(&g));
+    raw.extend(graph::lock_order(&g));
+    let graph_summary = graph::summary(&parsed_files, &g);
+    drop(g);
+
+    if let Some(only) = &cfg.only {
+        raw.retain(|r| only.contains(r.rule));
     }
     raw.sort();
 
@@ -385,6 +430,7 @@ pub fn run(cfg: &Config) -> io::Result<LintReport> {
     }
     let stale = ratchet
         .iter()
+        .filter(|((rule, _), _)| cfg.only.as_ref().is_none_or(|only| only.contains(rule)))
         .filter_map(|((rule, file), &budget)| {
             let actual = seen.get(&(rule.clone(), file.clone())).copied().unwrap_or(0);
             (actual < budget).then(|| StaleEntry {
@@ -398,6 +444,7 @@ pub fn run(cfg: &Config) -> io::Result<LintReport> {
 
     Ok(LintReport {
         files_scanned,
+        graph: graph_summary,
         findings,
         stale,
     })

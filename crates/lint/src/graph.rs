@@ -1,0 +1,737 @@
+//! Workspace symbol table, call graph, and the graph rule families.
+//!
+//! Built on [`crate::parser`] output for every scanned file. Call
+//! resolution is deliberately over-approximate (class-hierarchy style):
+//! a method call resolves to every known function of that name whose
+//! `impl` type is mentioned in the calling file, plus every
+//! implementation of a same-named trait method when the trait is
+//! mentioned. No type inference — false edges are acceptable, missed
+//! edges are not, because the rules reason about *reachability* of
+//! allocation, lock, and panic sites.
+//!
+//! Three rules run on the graph:
+//!
+//! * **hot-path-alloc** — roots are the bench-registry kernels
+//!   (`factory: k_name` entries, preferring the boxed closure body
+//!   `k_name::{closure}`) plus `// tdc-lint: hot` fns; any allocation
+//!   site transitively reachable from a root is flagged. `// tdc-lint:
+//!   cold` cuts traversal.
+//! * **lock-order** — Mutex acquisition order across `crates/serve`
+//!   and `tdc_util::pool`, intra-fn (guard held while another lock is
+//!   taken) and inter-procedural (guard held across a call whose
+//!   transitive callees acquire). Any cycle is a potential deadlock.
+//! * **panic-reachability** — no `unwrap`/`expect`/`panic!`/unguarded
+//!   indexing reachable from `Server` request handlers; traversal is
+//!   confined to `crates/serve` so the engine seam (which dispatches
+//!   into the simulator) does not drag the whole workspace in.
+
+use crate::parser::{CallKind, FnInfo, ParsedFile, TraitInfo};
+use crate::rules::RawFinding;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Version of the `graph` summary object in `results/lint.json`,
+/// documented in DESIGN.md §14 (the `lint-graph` anchor).
+pub const GRAPH_VERSION: u64 = 1;
+
+/// Field names of the `graph` summary object, in serialization order.
+pub const GRAPH_FIELDS: [&str; 4] = ["format_version", "functions", "edges", "roots"];
+
+/// One function in the workspace graph.
+pub struct Node<'a> {
+    /// Workspace-relative path of the declaring file.
+    pub file: &'a str,
+    pub f: &'a FnInfo,
+}
+
+/// The resolved workspace call graph.
+pub struct Graph<'a> {
+    pub nodes: Vec<Node<'a>>,
+    /// Resolved callee indices per call site, parallel to
+    /// `nodes[i].f.calls`. Empty for test fns.
+    pub call_targets: Vec<Vec<Vec<usize>>>,
+    /// Flattened sorted+deduped adjacency derived from `call_targets`.
+    pub edges: Vec<Vec<usize>>,
+    /// Total resolved edges out of non-test fns.
+    pub edge_count: usize,
+}
+
+/// The numbers reported in the `graph` section of `results/lint.json`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GraphSummary {
+    pub functions: usize,
+    pub edges: usize,
+    pub hot_roots: usize,
+    pub handler_roots: usize,
+}
+
+/// Builds and resolves the call graph over all parsed files.
+pub fn build<'a>(files: &'a BTreeMap<String, ParsedFile>) -> Graph<'a> {
+    let mut nodes = Vec::new();
+    for (file, parsed) in files {
+        for f in &parsed.fns {
+            nodes.push(Node { file, f });
+        }
+    }
+
+    // Candidate indices: only non-test fns can be callees.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_qual: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if n.f.is_test {
+            continue;
+        }
+        by_name.entry(&n.f.name).or_default().push(i);
+        by_qual.insert((n.file, &n.f.qual), i);
+    }
+    // Traits by name, methods merged across declarations.
+    let mut traits: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for parsed in files.values() {
+        for TraitInfo { name, methods } in &parsed.traits {
+            traits
+                .entry(name)
+                .or_default()
+                .extend(methods.iter().map(String::as_str));
+        }
+    }
+
+    let empty: Vec<usize> = Vec::new();
+    let mut call_targets: Vec<Vec<Vec<usize>>> = Vec::with_capacity(nodes.len());
+    for n in &nodes {
+        if n.f.is_test {
+            call_targets.push(Vec::new());
+            continue;
+        }
+        let ctx = &files[n.file];
+        let per_call = n
+            .f
+            .calls
+            .iter()
+            .map(|call| {
+                let cands = by_name.get(call.name.as_str()).unwrap_or(&empty);
+                match call.kind {
+                    CallKind::Closure => by_qual
+                        .get(&(n.file, call.name.as_str()))
+                        .map(|&t| vec![t])
+                        .unwrap_or_default(),
+                    CallKind::Method => {
+                        let mut out: Vec<usize> = cands
+                            .iter()
+                            .copied()
+                            .filter(|&t| {
+                                nodes[t]
+                                    .f
+                                    .self_ty
+                                    .as_ref()
+                                    .is_some_and(|ty| ctx.idents.contains(ty))
+                            })
+                            .collect();
+                        for (tr, methods) in &traits {
+                            if methods.contains(call.name.as_str())
+                                && ctx.idents.contains(*tr)
+                            {
+                                out.extend(cands.iter().copied().filter(|&t| {
+                                    nodes[t].f.trait_of.as_deref() == Some(*tr)
+                                }));
+                            }
+                        }
+                        out
+                    }
+                    CallKind::Path => resolve_qualified(
+                        &nodes,
+                        cands,
+                        n.file,
+                        call.qualifier.as_deref(),
+                    ),
+                    CallKind::Bare => {
+                        let same_file: Vec<usize> = cands
+                            .iter()
+                            .copied()
+                            .filter(|&t| {
+                                nodes[t].file == n.file && nodes[t].f.self_ty.is_none()
+                            })
+                            .collect();
+                        if !same_file.is_empty() {
+                            same_file
+                        } else if let Some(path) = ctx.imports.get(&call.name) {
+                            let penult = path.len().checked_sub(2).map(|k| path[k].as_str());
+                            resolve_qualified(&nodes, cands, n.file, penult)
+                        } else {
+                            free_in_crate(&nodes, cands, crate_of(n.file))
+                        }
+                    }
+                }
+            })
+            .map(|mut v: Vec<usize>| {
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        call_targets.push(per_call);
+    }
+
+    let mut edges: Vec<Vec<usize>> = Vec::with_capacity(nodes.len());
+    let mut edge_count = 0;
+    for per_call in &call_targets {
+        let mut adj: Vec<usize> = per_call.iter().flatten().copied().collect();
+        adj.sort_unstable();
+        adj.dedup();
+        edge_count += adj.len();
+        edges.push(adj);
+    }
+
+    Graph { nodes, call_targets, edges, edge_count }
+}
+
+/// `Type::name` / `module::name` resolution by the penultimate path
+/// segment: impl methods of a matching type first, then free fns in a
+/// matching file stem, then free fns in the caller's crate.
+fn resolve_qualified(
+    nodes: &[Node<'_>],
+    cands: &[usize],
+    caller_file: &str,
+    qualifier: Option<&str>,
+) -> Vec<usize> {
+    let Some(q) = qualifier else {
+        return free_in_crate(nodes, cands, crate_of(caller_file));
+    };
+    let typed: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&t| nodes[t].f.self_ty.as_deref() == Some(q))
+        .collect();
+    if !typed.is_empty() {
+        return typed;
+    }
+    let stem_match: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&t| {
+            nodes[t].f.self_ty.is_none()
+                && (nodes[t].file.ends_with(&format!("/{q}.rs"))
+                    || nodes[t].file == format!("{q}.rs"))
+        })
+        .collect();
+    if !stem_match.is_empty() {
+        return stem_match;
+    }
+    if q == "self" || q == "crate" {
+        return free_in_crate(nodes, cands, crate_of(caller_file));
+    }
+    Vec::new()
+}
+
+fn free_in_crate(nodes: &[Node<'_>], cands: &[usize], krate: &str) -> Vec<usize> {
+    cands
+        .iter()
+        .copied()
+        .filter(|&t| nodes[t].f.self_ty.is_none() && crate_of(nodes[t].file) == krate)
+        .collect()
+}
+
+/// `crates/util/src/pool.rs` → `crates/util`.
+fn crate_of(file: &str) -> &str {
+    let mut slashes = file.char_indices().filter(|&(_, c)| c == '/');
+    let _ = slashes.next();
+    match slashes.next() {
+        Some((i, _)) => &file[..i],
+        None => "",
+    }
+}
+
+/// BFS over the graph from `roots`, skipping test and `cold` fns and
+/// nodes outside `scope`. Returns each reached node's BFS parent
+/// (`None` for roots) for path reconstruction.
+pub fn reachable(
+    g: &Graph<'_>,
+    roots: &[usize],
+    scope: impl Fn(&Node<'_>) -> bool,
+) -> BTreeMap<usize, Option<usize>> {
+    let enterable =
+        |i: usize| !g.nodes[i].f.is_test && !g.nodes[i].f.cold && scope(&g.nodes[i]);
+    let mut parent: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    for &r in roots {
+        if enterable(r) && !parent.contains_key(&r) {
+            parent.insert(r, None);
+            queue.push_back(r);
+        }
+    }
+    while let Some(i) = queue.pop_front() {
+        for &t in &g.edges[i] {
+            if enterable(t) && !parent.contains_key(&t) {
+                parent.insert(t, Some(i));
+                queue.push_back(t);
+            }
+        }
+    }
+    parent
+}
+
+/// Renders the BFS path from the root down to `idx`, eliding the
+/// middle of long chains.
+fn chain(g: &Graph<'_>, parents: &BTreeMap<usize, Option<usize>>, idx: usize) -> String {
+    let mut quals = vec![g.nodes[idx].f.qual.as_str()];
+    let mut cur = idx;
+    while let Some(Some(p)) = parents.get(&cur) {
+        quals.push(g.nodes[*p].f.qual.as_str());
+        cur = *p;
+    }
+    quals.reverse();
+    if quals.len() > 5 {
+        let elided = quals.len() - 4;
+        format!(
+            "{} -> {} -> [{elided} more] -> {}",
+            quals[0],
+            quals[1],
+            quals[quals.len() - 1]
+        )
+    } else {
+        quals.join(" -> ")
+    }
+}
+
+/// Hot-path roots: every bench-registry kernel (preferring its boxed
+/// closure body) plus `// tdc-lint: hot` fns. Returns sorted indices.
+pub fn hot_roots(files: &BTreeMap<String, ParsedFile>, g: &Graph<'_>) -> Vec<usize> {
+    let mut roots = BTreeSet::new();
+    let mut factories: BTreeSet<&str> = BTreeSet::new();
+    for parsed in files.values() {
+        factories.extend(parsed.kernel_factories.iter().map(String::as_str));
+    }
+    for k in factories {
+        let closure_qual = format!("{k}::{{closure}}");
+        let closure = g
+            .nodes
+            .iter()
+            .position(|n| !n.f.is_test && n.f.qual == closure_qual);
+        let target = closure.or_else(|| {
+            g.nodes
+                .iter()
+                .position(|n| !n.f.is_test && n.f.self_ty.is_none() && n.f.qual == k)
+        });
+        roots.extend(target);
+    }
+    for (i, n) in g.nodes.iter().enumerate() {
+        if n.f.hot && !n.f.is_test {
+            roots.insert(i);
+        }
+    }
+    roots.into_iter().collect()
+}
+
+/// `Server` request handlers: non-test methods of `impl Server` blocks
+/// under `crates/serve/` (closures excluded — they are reached through
+/// their parents).
+pub fn handler_roots(g: &Graph<'_>) -> Vec<usize> {
+    g.nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| {
+            !n.f.is_test
+                && n.f.self_ty.as_deref() == Some("Server")
+                && n.file.starts_with("crates/serve/")
+                && !n.f.name.starts_with("{closure")
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The hot-path-alloc rule: flag allocation sites reachable from hot
+/// roots.
+pub fn hot_path_alloc(files: &BTreeMap<String, ParsedFile>, g: &Graph<'_>) -> Vec<RawFinding> {
+    let roots = hot_roots(files, g);
+    let parents = reachable(g, &roots, |_| true);
+    let mut out: BTreeMap<(String, usize, &str), RawFinding> = BTreeMap::new();
+    for &i in parents.keys() {
+        let n = &g.nodes[i];
+        for site in &n.f.allocs {
+            let key = (n.file.to_string(), site.line, site.what);
+            out.entry(key).or_insert_with(|| RawFinding {
+                file: n.file.to_string(),
+                line: site.line,
+                rule: "hot-path-alloc",
+                message: format!(
+                    "`{}` in `{}` allocates on a hot path ({})",
+                    site.what,
+                    n.f.qual,
+                    chain(g, &parents, i)
+                ),
+            });
+        }
+    }
+    out.into_values().collect()
+}
+
+/// The panic-reachability rule: flag panic sites reachable from Server
+/// request handlers, confined to `crates/serve`.
+pub fn panic_reachability(g: &Graph<'_>) -> Vec<RawFinding> {
+    let roots = handler_roots(g);
+    let parents = reachable(g, &roots, |n| n.file.starts_with("crates/serve/"));
+    let mut out: BTreeMap<(String, usize, &str), RawFinding> = BTreeMap::new();
+    for &i in parents.keys() {
+        let n = &g.nodes[i];
+        for site in &n.f.panics {
+            let key = (n.file.to_string(), site.line, site.what);
+            out.entry(key).or_insert_with(|| RawFinding {
+                file: n.file.to_string(),
+                line: site.line,
+                rule: "panic-reachability",
+                message: format!(
+                    "`{}` in `{}` can panic on a serve request path ({})",
+                    site.what,
+                    n.f.qual,
+                    chain(g, &parents, i)
+                ),
+            });
+        }
+    }
+    out.into_values().collect()
+}
+
+/// Whether a file participates in the lock-order analysis.
+fn lock_scope(file: &str) -> bool {
+    file.starts_with("crates/serve/src/") || file == "crates/util/src/pool.rs"
+}
+
+/// One lock-order edge with its provenance.
+struct LockEdgeInfo {
+    file: String,
+    line: usize,
+    detail: String,
+}
+
+/// The lock-order rule: derive the acquisition graph (intra-fn edges
+/// plus guard-held-across-call edges against transitive acquisitions)
+/// and fail on cycles.
+pub fn lock_order(g: &Graph<'_>) -> Vec<RawFinding> {
+    // Per-fn transitive lock acquisitions (fixpoint over the graph).
+    let mut acq: Vec<BTreeSet<String>> = g
+        .nodes
+        .iter()
+        .map(|n| {
+            if !n.f.is_test && lock_scope(n.file) {
+                n.f.lock_names.iter().cloned().collect()
+            } else {
+                BTreeSet::new()
+            }
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..g.nodes.len() {
+            if g.nodes[i].f.is_test {
+                continue;
+            }
+            for &t in &g.edges[i] {
+                if t == i {
+                    continue;
+                }
+                let add: Vec<String> =
+                    acq[t].iter().filter(|l| !acq[i].contains(*l)).cloned().collect();
+                if !add.is_empty() {
+                    acq[i].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Acquisition-order edges, first site wins per (held, acquired).
+    let mut order: BTreeMap<(String, String), LockEdgeInfo> = BTreeMap::new();
+    let mut record = |held: &str, acquired: &str, info: LockEdgeInfo| {
+        order
+            .entry((held.to_string(), acquired.to_string()))
+            .or_insert(info);
+    };
+    for (i, n) in g.nodes.iter().enumerate() {
+        if n.f.is_test || !lock_scope(n.file) {
+            continue;
+        }
+        for e in &n.f.lock_edges {
+            record(
+                &e.held,
+                &e.acquired,
+                LockEdgeInfo {
+                    file: n.file.to_string(),
+                    line: e.line,
+                    detail: format!("`{}` takes `{}` while holding `{}`", n.f.qual, e.acquired, e.held),
+                },
+            );
+        }
+        for (c, call) in n.f.calls.iter().enumerate() {
+            if call.held.is_empty() {
+                continue;
+            }
+            for &t in &g.call_targets[i][c] {
+                if t == i {
+                    continue;
+                }
+                for l in &acq[t] {
+                    for h in &call.held {
+                        record(
+                            h,
+                            l,
+                            LockEdgeInfo {
+                                file: n.file.to_string(),
+                                line: call.line,
+                                detail: format!(
+                                    "`{}` holds `{h}` across a call to `{}` which acquires `{l}`",
+                                    n.f.qual, g.nodes[t].f.qual
+                                ),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle enumeration over the (tiny) lock graph: DFS from each
+    // start, restricted to nodes >= start so each cycle reports once.
+    let mut adjacency: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (held, acquired) in order.keys() {
+        adjacency.entry(held).or_default().push(acquired);
+    }
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    let names: Vec<&str> = adjacency.keys().copied().collect();
+    for &start in &names {
+        let mut path: Vec<&str> = vec![start];
+        let mut on_path: BTreeSet<&str> = [start].into();
+        dfs_cycles(start, &adjacency, start, &mut path, &mut on_path, &mut cycles);
+    }
+
+    cycles
+        .into_iter()
+        .map(|cycle| {
+            let mut hops = Vec::new();
+            for w in 0..cycle.len() {
+                let from = &cycle[w];
+                let to = &cycle[(w + 1) % cycle.len()];
+                let info = &order[&(from.clone(), to.clone())];
+                hops.push(format!("{} at {}:{}", info.detail, info.file, info.line));
+            }
+            let first = &order[&(cycle[0].clone(), cycle[(1) % cycle.len()].clone())];
+            let ring: Vec<&str> = cycle
+                .iter()
+                .map(String::as_str)
+                .chain([cycle[0].as_str()])
+                .collect();
+            RawFinding {
+                file: first.file.clone(),
+                line: first.line,
+                rule: "lock-order",
+                message: format!(
+                    "lock acquisition cycle {} can deadlock: {}",
+                    ring.join(" -> "),
+                    hops.join("; ")
+                ),
+            }
+        })
+        .collect()
+}
+
+fn dfs_cycles<'a>(
+    start: &'a str,
+    adjacency: &BTreeMap<&'a str, Vec<&'a str>>,
+    cur: &'a str,
+    path: &mut Vec<&'a str>,
+    on_path: &mut BTreeSet<&'a str>,
+    cycles: &mut BTreeSet<Vec<String>>,
+) {
+    if cycles.len() >= 16 {
+        return;
+    }
+    let Some(nexts) = adjacency.get(cur) else { return };
+    for &next in nexts {
+        if next == start {
+            cycles.insert(path.iter().map(|s| s.to_string()).collect());
+        } else if next > start && !on_path.contains(next) {
+            path.push(next);
+            on_path.insert(next);
+            dfs_cycles(start, adjacency, next, path, on_path, cycles);
+            on_path.remove(next);
+            path.pop();
+        }
+    }
+}
+
+/// Computes the `graph` summary reported in `results/lint.json`.
+pub fn summary(files: &BTreeMap<String, ParsedFile>, g: &Graph<'_>) -> GraphSummary {
+    GraphSummary {
+        functions: g.nodes.iter().filter(|n| !n.f.is_test).count(),
+        edges: g.edge_count,
+        hot_roots: hot_roots(files, g).len(),
+        handler_roots: handler_roots(g).len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use crate::parser::parse;
+
+    fn workspace(files: &[(&str, &str)]) -> BTreeMap<String, ParsedFile> {
+        files
+            .iter()
+            .map(|(path, src)| (path.to_string(), parse(&scan(src))))
+            .collect()
+    }
+
+    fn node<'a>(g: &Graph<'a>, qual: &str) -> usize {
+        g.nodes
+            .iter()
+            .position(|n| n.f.qual == qual)
+            .unwrap_or_else(|| panic!("no node {qual}"))
+    }
+
+    #[test]
+    fn cross_crate_method_resolution_requires_type_mention() {
+        let files = workspace(&[
+            (
+                "crates/cache/src/tagless.rs",
+                "pub struct TaglessCache;\nimpl TaglessCache {\n    pub fn translate(&self) {}\n}\n",
+            ),
+            (
+                "crates/harness/src/kernels.rs",
+                "use tdc_dram_cache::TaglessCache;\nfn drive(c: &TaglessCache) {\n    c.translate();\n}\n",
+            ),
+            (
+                "crates/other/src/lib.rs",
+                "fn unrelated(x: &Foo) {\n    x.translate();\n}\n",
+            ),
+        ]);
+        let g = build(&files);
+        let drive = node(&g, "drive");
+        let translate = node(&g, "TaglessCache::translate");
+        assert!(g.edges[drive].contains(&translate));
+        // The file that never mentions TaglessCache gets no edge.
+        let unrelated = node(&g, "unrelated");
+        assert!(!g.edges[unrelated].contains(&translate));
+    }
+
+    #[test]
+    fn trait_method_fallback_resolves_all_impls() {
+        let files = workspace(&[
+            (
+                "crates/serve/src/lib.rs",
+                "pub trait Engine {\n    fn execute(&self);\n}\npub struct Server;\nimpl Server {\n    fn run(&self, e: &dyn Engine) {\n        e.execute();\n    }\n}\n",
+            ),
+            (
+                "crates/harness/src/serve.rs",
+                "impl Engine for PlanEngine {\n    fn execute(&self) {}\n}\n",
+            ),
+        ]);
+        let g = build(&files);
+        let run = node(&g, "Server::run");
+        let exec = node(&g, "PlanEngine::execute");
+        assert!(g.edges[run].contains(&exec));
+    }
+
+    #[test]
+    fn recursion_cycles_terminate() {
+        let files = workspace(&[(
+            "crates/a/src/lib.rs",
+            "fn a(n: u64) -> u64 {\n    b(n)\n}\nfn b(n: u64) -> u64 {\n    if n > 0 { a(n - 1) } else { 0 }\n}\n",
+        )]);
+        let g = build(&files);
+        let a = node(&g, "a");
+        let parents = reachable(&g, &[a], |_| true);
+        assert!(parents.contains_key(&node(&g, "b")));
+        assert_eq!(parents.len(), 2);
+    }
+
+    #[test]
+    fn hot_path_alloc_flags_reachable_growth() {
+        let files = workspace(&[(
+            "crates/harness/src/kernels.rs",
+            "pub fn micro_kernels() -> Vec<Kernel> {\n    vec![Kernel { group: \"g\", name: \"n\", iters: 4, factory: k_demo }]\n}\nfn k_demo() -> Box<dyn FnMut() -> u64> {\n    let setup: Vec<u64> = Vec::new();\n    Box::new(move || hot_body(&setup))\n}\nfn hot_body(v: &[u64]) -> u64 {\n    let mut out = Vec::new();\n    out.push(1u64);\n    out[0]\n}\nfn cold_helper() -> String {\n    format!(\"never hot\")\n}\n",
+        )]);
+        let g = build(&files);
+        let findings = hot_path_alloc(&files, &g);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("push"));
+        assert!(findings[0].message.contains("k_demo::{closure}"));
+        // Factory setup (the Box::new itself) is not hot.
+        assert!(!findings.iter().any(|f| f.message.contains("Box::new")));
+    }
+
+    #[test]
+    fn cold_pragma_cuts_traversal() {
+        let files = workspace(&[(
+            "crates/harness/src/kernels.rs",
+            "pub fn micro_kernels() -> Vec<Kernel> {\n    vec![Kernel { group: \"g\", name: \"n\", iters: 4, factory: k_demo }]\n}\nfn k_demo() -> Box<dyn FnMut() -> u64> {\n    // tdc-lint: cold\n    Box::new(move || busy())\n}\nfn busy() -> u64 {\n    let mut v = Vec::new();\n    v.push(1u64);\n    v[0]\n}\n",
+        )]);
+        let g = build(&files);
+        assert!(hot_path_alloc(&files, &g).is_empty());
+    }
+
+    #[test]
+    fn panic_reachability_confined_to_serve() {
+        let files = workspace(&[
+            (
+                "crates/serve/src/server.rs",
+                "pub struct Server;\nimpl Server {\n    pub fn handle(&self, req: &str) -> u64 {\n        helper(req)\n    }\n}\nfn helper(req: &str) -> u64 {\n    req.parse().unwrap()\n}\nfn unreached(req: &str) -> u64 {\n    req.parse().unwrap()\n}\n",
+            ),
+            (
+                "crates/util/src/lib.rs",
+                "pub fn helper(x: &str) -> u64 {\n    x.parse().unwrap()\n}\n",
+            ),
+        ]);
+        let g = build(&files);
+        let findings = panic_reachability(&g);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].file, "crates/serve/src/server.rs");
+        assert!(findings[0].message.contains("Server::handle"));
+    }
+
+    #[test]
+    fn lock_order_cycle_detected_once() {
+        let files = workspace(&[(
+            "crates/serve/src/locks.rs",
+            "pub struct Pair;\nimpl Pair {\n    pub fn ab(&self) -> u64 {\n        let a = self.alpha.lock().expect(\"alpha\");\n        let b = self.beta.lock().expect(\"beta\");\n        *a + *b\n    }\n    pub fn ba(&self) -> u64 {\n        let b = self.beta.lock().expect(\"beta\");\n        let a = self.alpha.lock().expect(\"alpha\");\n        *a + *b\n    }\n}\n",
+        )]);
+        let g = build(&files);
+        let findings = lock_order(&g);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("alpha -> beta -> alpha"));
+    }
+
+    #[test]
+    fn lock_order_interprocedural_edge() {
+        let files = workspace(&[(
+            "crates/serve/src/locks.rs",
+            "impl S {\n    fn outer(&self) {\n        let g = self.alpha.lock().expect(\"alpha\");\n        inner(*g);\n    }\n}\nfn inner(x: u64) {\n    let b = GLOBAL.beta.lock().expect(\"beta\");\n    let _ = *b + x;\n}\nfn other(s: &S) {\n    let b = GLOBAL.beta.lock().expect(\"beta\");\n    let a = s.alpha.lock().expect(\"alpha\");\n    let _ = (*a, *b);\n}\n",
+        )]);
+        let g = build(&files);
+        let findings = lock_order(&g);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("holds `alpha` across a call"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let files = workspace(&[(
+            "crates/serve/src/locks.rs",
+            "impl S {\n    fn one(&self) {\n        let a = self.alpha.lock().expect(\"alpha\");\n        let b = self.beta.lock().expect(\"beta\");\n        let _ = (*a, *b);\n    }\n    fn two(&self) {\n        let a = self.alpha.lock().expect(\"alpha\");\n        let b = self.beta.lock().expect(\"beta\");\n        let _ = (*a, *b);\n    }\n}\n",
+        )]);
+        let g = build(&files);
+        assert!(lock_order(&g).is_empty());
+    }
+
+    #[test]
+    fn summary_counts_non_test_fns() {
+        let files = workspace(&[(
+            "crates/a/src/lib.rs",
+            "fn prod() {\n    helper();\n}\nfn helper() {}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        helper();\n    }\n}\n",
+        )]);
+        let g = build(&files);
+        let s = summary(&files, &g);
+        assert_eq!(s.functions, 2);
+        assert_eq!(s.edges, 1);
+    }
+}

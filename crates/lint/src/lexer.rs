@@ -74,8 +74,18 @@ enum State {
 pub fn scan(source: &str) -> ScannedFile {
     let mut lines = Vec::new();
     let mut state = State::Code;
-    for raw_line in source.split('\n') {
+    for (idx, raw_line) in source.split('\n').enumerate() {
         let raw = raw_line.strip_suffix('\r').unwrap_or(raw_line);
+        // A shebang is legal on the first line only (and `#![...]` is an
+        // inner attribute, not a shebang); its text is not Rust code.
+        if idx == 0 && raw.starts_with("#!") && !raw.starts_with("#![") {
+            lines.push(Line {
+                raw: raw.to_string(),
+                code: " ".repeat(raw.chars().count()),
+                comment: raw.to_string(),
+            });
+            continue;
+        }
         let (line, next_state) = scan_line(raw, state);
         state = next_state;
         lines.push(line);
@@ -276,7 +286,9 @@ fn char_literal_len(chars: &[char]) -> Option<usize> {
     match chars.get(1) {
         Some('\\') => {
             // Escape: find the closing quote (handles '\n', '\'', '\u{1F4A9}').
-            let mut i = 2;
+            // Start past the escaped char so the quote in '\'' doesn't
+            // read as the terminator.
+            let mut i = 3;
             while let Some(&c) = chars.get(i) {
                 if c == '\'' {
                     return Some(i + 1);
@@ -438,6 +450,47 @@ mod tests {
         // The double-quote char literal must not open a string.
         assert!(code[0].contains("static"));
         assert!(code[0].contains("g("));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        let code = code_of("x /* a /* b /* HashMap */ c */ still */ y");
+        assert!(code[0].contains('x') && code[0].contains('y'));
+        assert!(!code[0].contains("HashMap") && !code[0].contains("still"));
+    }
+
+    #[test]
+    fn brace_char_and_byte_literals_are_blanked() {
+        let code = code_of("let a = b'{'; let b = '{'; let c = '}'; f(a);");
+        assert!(!code[0].contains('{') && !code[0].contains('}'));
+        assert!(code[0].contains("f(a);"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_open_a_string() {
+        let code = code_of(r#"let q = '\''; done("HashMap");"#);
+        assert!(code[0].contains("done("));
+        assert!(!code[0].contains("HashMap"));
+        assert_eq!(code[0].matches('"').count(), 2);
+    }
+
+    #[test]
+    fn multi_hash_raw_strings() {
+        let src = r###"let s = r##"quote "# HashMap "##; after();"###;
+        let code = code_of(src);
+        assert!(!code[0].contains("HashMap"));
+        assert!(code[0].contains("after();"));
+    }
+
+    #[test]
+    fn leading_shebang_is_comment_but_inner_attribute_is_code() {
+        let f = scan("#!/usr/bin/env run-cargo-script\nfn HashMap() {}");
+        assert!(f.lines[0].code.trim().is_empty());
+        assert_eq!(f.lines[0].comment, "#!/usr/bin/env run-cargo-script");
+        assert!(f.lines[1].code.contains("HashMap"));
+
+        let g = scan("#![allow(dead_code)]\nfn x() {}");
+        assert!(g.lines[0].code.contains("#![allow(dead_code)]"));
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub struct RawFinding {
 }
 
 /// `(id, summary)` for every rule, in report order.
-pub const RULES: [(&str, &str); 11] = [
+pub const RULES: [(&str, &str); 15] = [
     (
         "hash-collections",
         "HashMap/HashSet in library code: iteration order is nondeterministic and can leak into artifacts",
@@ -68,7 +68,121 @@ pub const RULES: [(&str, &str); 11] = [
         "obs-schema",
         "the events.jsonl / histogram-summary schemas documented in DESIGN.md must match util::obs::EVENT_FIELDS/EVENT_VERSION and HIST_FIELDS/HIST_VERSION",
     ),
+    (
+        "hot-path-alloc",
+        "no allocation (push/insert/collect/format!/clone/Box::new/...) reachable from a bench-registry kernel or `tdc-lint: hot` fn; `tdc-lint: cold` cuts traversal",
+    ),
+    (
+        "lock-order",
+        "Mutex acquisition order across crates/serve and tdc_util::pool must be acyclic, or two requests can deadlock",
+    ),
+    (
+        "panic-reachability",
+        "no unwrap/expect/panic!/unguarded-indexing reachable from Server request handlers: untrusted input must map to wire errors",
+    ),
+    (
+        "graph-schema",
+        "the lint-graph summary documented in DESIGN.md must match lint::graph::GRAPH_FIELDS/GRAPH_VERSION",
+    ),
 ];
+
+/// A longer explanation per rule id, for `tdc lint --explain <rule>`.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "hash-collections" => {
+            "Artifacts must be byte-identical across runs and thread counts. \
+             HashMap/HashSet iteration order depends on a randomized hasher, so any \
+             ordered output derived from one is nondeterministic. Use BTreeMap/BTreeSet \
+             in library code; `// tdc-lint: allow(hash-collections)` only where order \
+             provably never escapes."
+        }
+        "time-source" => {
+            "Simulated results must depend only on the model, never on wall-clock. \
+             Instant/SystemTime are allowed in bench code and behind explicit \
+             `// tdc-lint: allow(time-source)` pragmas (e.g. connection timeouts), \
+             nowhere else."
+        }
+        "cast-truncation" => {
+            "`as` casts silently wrap. On cycle counters and physical/virtual \
+             addresses that is data corruption, not a type error. Use try_into() or \
+             widen the target type."
+        }
+        "panic-in-lib" => {
+            "Library code should return Result or use expect(\"why\") so a failure \
+             names its invariant. Bare unwrap()/panic! in a library turns a bad input \
+             into an abort. Counts are ratcheted down over time via lint.ratchet."
+        }
+        "probe-coverage" => {
+            "Every ProbeEvent/Phase/EventKind variant declared in tdc-util must be \
+             emitted or consumed by some crate outside it; a dead variant means the \
+             observability surface and the simulator have drifted apart."
+        }
+        "figure-baselines" => {
+            "Every figure id in harness::figures::ALL_IDS needs a checked-in \
+             baselines/scale-0.25/<id>.json so `tdc diff` can gate regressions."
+        }
+        "design-constants" => {
+            "Every DRAM timing token (tRCD, tFAW, ...) referenced in DESIGN.md must \
+             exist as a constant in tdc-dram, keeping prose and model in sync."
+        }
+        "manifest-schema" => {
+            "The shard-manifest.json schema is documented in DESIGN.md §10 and \
+             declared in harness::shard::MANIFEST_FIELDS/MANIFEST_VERSION. Both \
+             directions are checked: documented fields must exist in code, code fields \
+             must be documented, and format_version must match."
+        }
+        "bench-schema" => {
+            "The bench-history.jsonl record schema (DESIGN.md §11 versus \
+             harness::bench::RECORD_FIELDS/RECORD_VERSION) is checked both directions, \
+             including format_version drift."
+        }
+        "wire-schema" => {
+            "The serve-envelope wire format (DESIGN.md §12 versus \
+             serve::wire::WIRE_FIELDS/WIRE_VERSION) is checked both directions, \
+             including format_version drift."
+        }
+        "obs-schema" => {
+            "The events.jsonl structured-log line and the histogram-summary object \
+             (DESIGN.md §13 versus util::obs EVENT_*/HIST_* constants) are checked \
+             both directions, including format_version drift."
+        }
+        "hot-path-alloc" => {
+            "The paper's access path is supposed to be a single cTLB step; an \
+             allocation inside a measured kernel is either a perf bug or an unmeasured \
+             design decision. Roots are every bench-registry kernel (the boxed closure \
+             body, so factory setup is exempt) plus `// tdc-lint: hot` fns. The rule \
+             flags growth calls (push/insert/extend/collect/...), owned copies \
+             (to_string/to_vec/clone), allocating constructors (Box::new/Arc::new/\
+             Vec::with_capacity/...) and format!/vec! reachable in the call graph. \
+             Mark intentionally-allocating paths `// tdc-lint: cold` (cuts traversal) \
+             or suppress a single site with `// tdc-lint: allow(hot-path-alloc)`."
+        }
+        "lock-order" => {
+            "Builds the Mutex acquisition graph across crates/serve and \
+             tdc_util::pool: an edge A -> B means some code path takes B while \
+             holding A, either directly or by calling into code that transitively \
+             acquires B. Any cycle means two threads can deadlock. Lock identity is \
+             the receiver field name (`self.flights.lock()` -> `flights`); guards are \
+             held until their binding's block closes, temporaries release at the end \
+             of the statement."
+        }
+        "panic-reachability" => {
+            "Walks the call graph from every `impl Server` method in crates/serve: \
+             unwrap/expect/panic!-family macros and unguarded indexing reachable on a \
+             request path can abort the daemon on untrusted input. Parse failures must \
+             become 400-level wire errors instead. Traversal stays inside crates/serve \
+             (the engine seam is the simulator's problem, covered by panic-in-lib); \
+             remaining sites are ratcheted in lint.ratchet."
+        }
+        "graph-schema" => {
+            "The `graph` section of results/lint.json (function/edge/root counts) is \
+             documented at the lint-graph anchor in DESIGN.md §14 and declared in \
+             lint::graph::GRAPH_FIELDS/GRAPH_VERSION; both directions and \
+             format_version are checked, like every other schema-sync rule."
+        }
+        _ => return None,
+    })
+}
 
 /// Identifier words that mark a value as cycle- or address-typed for the
 /// `cast-truncation` rule. Matched word-exact against `_`-split pieces
@@ -463,6 +577,15 @@ pub fn obs_schema(files: &BTreeMap<String, ScannedFile>, design_md: &str) -> Vec
     out
 }
 
+/// The lint report's own `graph` section closes the loop: the summary
+/// counts `tdc lint` writes to `results/lint.json` are themselves a
+/// two-sources-of-truth schema — `GRAPH_FIELDS`/`GRAPH_VERSION` in
+/// `crates/lint/src/graph.rs` versus the DESIGN.md §14 prose —
+/// anchored by the first DESIGN.md line containing `lint-graph`.
+pub fn graph_schema(files: &BTreeMap<String, ScannedFile>, design_md: &str) -> Vec<RawFinding> {
+    schema_sync(&GRAPH_SPEC, files, design_md)
+}
+
 /// One code-constants-versus-DESIGN.md schema pairing checked by
 /// [`schema_sync`].
 struct SchemaSpec {
@@ -538,6 +661,17 @@ const OBS_HIST_SPEC: SchemaSpec = SchemaSpec {
     code_home: "util::obs",
     subject: "histogram-summary",
     field_noun: "histogram summary field",
+};
+
+const GRAPH_SPEC: SchemaSpec = SchemaSpec {
+    rule: "graph-schema",
+    src: "crates/lint/src/graph.rs",
+    fields_const: "GRAPH_FIELDS",
+    version_const: "GRAPH_VERSION",
+    anchor: "lint-graph",
+    code_home: "lint::graph",
+    subject: "lint-graph",
+    field_noun: "graph summary field",
 };
 
 /// The shared both-directions check: every documented field exists in
@@ -1039,6 +1173,54 @@ mod tests {
         assert!(hits[0].message.contains("never documents"));
         // Without the shard module there is nothing to check.
         assert!(manifest_schema(&BTreeMap::new(), "anything").is_empty());
+    }
+
+    fn graph_files(fields: &[&str], version: u64) -> BTreeMap<String, ScannedFile> {
+        let list = fields
+            .iter()
+            .map(|f| format!("\"{f}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let src = format!(
+            "pub const GRAPH_VERSION: u64 = {version};\n\
+             pub const GRAPH_FIELDS: [&str; {}] = [{list}];\n",
+            fields.len()
+        );
+        let mut files = BTreeMap::new();
+        files.insert("crates/lint/src/graph.rs".to_string(), scan(&src));
+        files
+    }
+
+    #[test]
+    fn graph_schema_passes_when_doc_and_code_agree() {
+        let files = graph_files(&["format_version", "functions"], 1);
+        let doc = "## Lint\n\n\
+                   The `lint-graph` summary (format_version 1) carries\n\
+                   `format_version` and `functions`.\n\n more prose";
+        assert!(graph_schema(&files, doc).is_empty());
+    }
+
+    #[test]
+    fn graph_schema_flags_both_directions_and_version_drift() {
+        let files = graph_files(&["format_version", "functions"], 2);
+        let doc = "The `lint-graph` summary (format_version 1) carries\n\
+                   `format_version` and `bogus_field`.\n";
+        let hits = graph_schema(&files, doc);
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        assert!(hits.iter().all(|h| h.rule == "graph-schema" && h.file == "DESIGN.md"));
+        assert!(hits.iter().any(|h| h.message.contains("format_version 1")
+            && h.message.contains("GRAPH_VERSION is 2")));
+        assert!(hits.iter().any(|h| h.message.contains("`bogus_field`")));
+        assert!(hits.iter().any(|h| h.message.contains("`functions`")
+            && h.message.contains("does not document")));
+    }
+
+    #[test]
+    fn every_rule_has_an_explanation() {
+        for (id, _) in RULES {
+            assert!(explain(id).is_some(), "no --explain text for {id}");
+        }
+        assert!(explain("no-such-rule").is_none());
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! Mini kernel registry: the bench-registry shape the call-graph pass
+//! roots hot-path traversal at, with one seeded allocation inside the
+//! timed closure.
+
+pub struct Kernel {
+    pub name: &'static str,
+    pub iters: u64,
+    factory: fn() -> Box<dyn FnMut() -> u64>,
+}
+
+pub fn micro_kernels() -> Vec<Kernel> {
+    vec![Kernel {
+        name: "hot",
+        iters: 8,
+        factory: k_hot,
+    }]
+}
+
+fn k_hot() -> Box<dyn FnMut() -> u64> {
+    let mut acc = Vec::new();
+    Box::new(move || {
+        acc.push(1u64);
+        acc.len() as u64
+    })
+}

@@ -1,0 +1,8 @@
+//! Mini graph module: schema constants for the graph-schema rule.
+
+pub const GRAPH_VERSION: u64 = 1;
+
+pub const GRAPH_FIELDS: [&str; 2] = [
+    "format_version",
+    "functions",
+];

@@ -1,0 +1,23 @@
+//! Mini lock pair: two methods acquiring the same two mutexes in
+//! opposite orders — the seeded lock-order cycle.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let a = self.alpha.lock().expect("alpha");
+        let b = self.beta.lock().expect("beta");
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u64 {
+        let b = self.beta.lock().expect("beta");
+        let a = self.alpha.lock().expect("alpha");
+        *a - *b
+    }
+}

@@ -1,0 +1,14 @@
+//! Mini server: an `impl Server` request handler whose helper panics
+//! on untrusted input — the seeded panic-reachability violation.
+
+pub struct Server;
+
+impl Server {
+    pub fn handle(&self, body: &str) -> u64 {
+        decode(body)
+    }
+}
+
+fn decode(body: &str) -> u64 {
+    body.parse().expect("numeric body")
+}

@@ -84,6 +84,36 @@ fn workspace_scan_is_not_vacuous() {
         design.contains("bench-history.jsonl"),
         "DESIGN.md no longer documents the bench record schema"
     );
+    // The call-graph pass must be non-vacuous too: a clean
+    // hot-path-alloc / lock-order / panic-reachability run has to mean
+    // "traversed and passed", not "found no roots to start from".
+    assert!(
+        report.graph.functions > 100 && report.graph.edges > 100,
+        "call graph shrank to {} fns / {} edges — did the parser break?",
+        report.graph.functions,
+        report.graph.edges
+    );
+    assert!(
+        report.graph.hot_roots > 0,
+        "no hot-path roots: the bench registry or closure synthesis broke"
+    );
+    assert!(
+        report.graph.handler_roots > 0,
+        "no Server request handlers found under crates/serve"
+    );
+    // And the graph-schema rule's two anchors must both exist.
+    let graph_src = std::fs::read_to_string(
+        workspace_root().join("crates/lint/src/graph.rs"),
+    )
+    .expect("graph.rs readable");
+    assert!(
+        graph_src.contains("const GRAPH_FIELDS") && graph_src.contains("const GRAPH_VERSION"),
+        "graph.rs no longer declares the graph schema constants; update the lint rule"
+    );
+    assert!(
+        design.contains("lint-graph"),
+        "DESIGN.md no longer documents the lint-graph summary schema"
+    );
     // Grandfathered debt is expected to exist for now; if it ever hits
     // zero, delete lint.ratchet rather than loosening this test.
     assert!(

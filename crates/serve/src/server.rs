@@ -19,7 +19,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, BufReader, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use tdc_util::http::{read_request, write_response, Request, Response};
 use tdc_util::obs::{EventKind, EventLog, LogHistogram};
 use tdc_util::{run_tasks, Json};
@@ -83,6 +83,15 @@ impl Default for ServerConfig {
             queue: 32,
         }
     }
+}
+
+/// Locks `m`, recovering the data from a poisoned mutex. A poisoned
+/// lock means some other request's thread panicked; every critical
+/// section here leaves its map/counter consistent at each step, so the
+/// daemon keeps serving instead of cascading the panic through every
+/// thread that touches the same lock.
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// One `/metrics` epoch record: a completed request with its latency.
@@ -151,7 +160,7 @@ struct AdmissionSlot<'a, E: Engine>(&'a Server<E>);
 
 impl<E: Engine> Drop for AdmissionSlot<'_, E> {
     fn drop(&mut self) {
-        let mut active = self.0.active.lock().expect("admission lock");
+        let mut active = locked(&self.0.active);
         *active = active.saturating_sub(1);
     }
 }
@@ -207,11 +216,7 @@ impl<E: Engine> Server<E> {
     /// samples; production callers go through the private
     /// `Server::record_epoch`.
     pub fn observe_latency_us(&self, micros: u64) {
-        self.metrics
-            .latency_us
-            .lock()
-            .expect("latency histogram lock")
-            .record(micros);
+        locked(&self.metrics.latency_us).record(micros);
     }
 
     /// Whether `/shutdown` has been requested.
@@ -233,10 +238,7 @@ impl<E: Engine> Server<E> {
                 continue;
             }
             if self.engine.preload(&key, &doc).is_ok() {
-                self.mem
-                    .lock()
-                    .expect("mem cache lock")
-                    .insert(key, Arc::new(doc));
+                locked(&self.mem).insert(key, Arc::new(doc));
                 loaded += 1;
             } else {
                 skipped += 1;
@@ -387,14 +389,14 @@ impl<E: Engine> Server<E> {
             ("plan_cells", Json::from(self.engine.key_count())),
             (
                 "cached_cells",
-                Json::from(self.mem.lock().expect("mem cache lock").len()),
+                Json::from(locked(&self.mem).len()),
             ),
             (
                 "queue",
                 Json::obj([
                     (
                         "active",
-                        Json::from(*self.active.lock().expect("admission lock")),
+                        Json::from(*locked(&self.active)),
                     ),
                     ("capacity", Json::from(self.cfg.queue)),
                 ]),
@@ -452,17 +454,12 @@ impl<E: Engine> Server<E> {
             None => Json::Null,
         };
         let queue = Json::obj([
-            (
-                "active",
-                Json::from(*self.active.lock().expect("admission lock")),
-            ),
+            ("active", Json::from(*locked(&self.active))),
             ("capacity", Json::from(self.cfg.queue)),
             ("peak", count(&m.peak_active)),
         ]);
         let epochs = Json::Arr(
-            m.epochs
-                .lock()
-                .expect("epoch ring lock")
+            locked(&m.epochs)
                 .iter()
                 .map(|e| {
                     Json::obj([
@@ -523,7 +520,7 @@ impl<E: Engine> Server<E> {
         }
         out.push_str("# HELP tdc_request_duration_us Request latency in microseconds.\n");
         out.push_str("# TYPE tdc_request_duration_us histogram\n");
-        let hist = m.latency_us.lock().expect("latency histogram lock");
+        let hist = locked(&m.latency_us);
         for (le, cumulative) in hist.prometheus_buckets() {
             out.push_str(&format!(
                 "tdc_request_duration_us_bucket{{le=\"{le}\"}} {cumulative}\n"
@@ -563,7 +560,7 @@ impl<E: Engine> Server<E> {
     /// One cell: memory cache, then disk store, then a single-flight
     /// execution shared with every concurrent request for this key.
     fn cell(&self, rid: u64, key: &str) -> Result<Arc<Json>, String> {
-        if let Some(doc) = self.mem.lock().expect("mem cache lock").get(key).cloned() {
+        if let Some(doc) = locked(&self.mem).get(key).cloned() {
             self.metrics.mem_hits.fetch_add(1, Ordering::Relaxed);
             self.event(rid, "cell", EventKind::MemHit, key);
             return Ok(doc);
@@ -575,17 +572,14 @@ impl<E: Engine> Server<E> {
                 if self.engine.preload(key, &doc).is_ok() {
                     self.event(rid, "cell", EventKind::StoreHit, key);
                     let doc = Arc::new(doc);
-                    self.mem
-                        .lock()
-                        .expect("mem cache lock")
-                        .insert(key.to_string(), doc.clone());
+                    locked(&self.mem).insert(key.to_string(), doc.clone());
                     return Ok(doc);
                 }
             }
         }
 
         let (flight, leader) = {
-            let mut flights = self.flights.lock().expect("flights lock");
+            let mut flights = locked(&self.flights);
             match flights.get(key) {
                 Some(f) => (Arc::clone(f), false),
                 None => {
@@ -601,11 +595,16 @@ impl<E: Engine> Server<E> {
         if !leader {
             self.metrics.deduped.fetch_add(1, Ordering::Relaxed);
             self.event(rid, "cell", EventKind::DedupJoin, key);
-            let mut slot = flight.slot.lock().expect("flight slot lock");
+            let mut slot = locked(&flight.slot);
             while slot.is_none() {
-                slot = flight.ready.wait(slot).expect("flight wait");
+                slot = flight
+                    .ready
+                    .wait(slot)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
-            return slot.clone().expect("flight slot just filled");
+            return slot
+                .clone()
+                .unwrap_or_else(|| Err("flight slot empty after wakeup".to_string()));
         }
 
         self.event(rid, "cell", EventKind::Execute, key);
@@ -620,14 +619,11 @@ impl<E: Engine> Server<E> {
                 // the request the simulation just answered.
                 let _ = store.put(key, doc);
             }
-            self.mem
-                .lock()
-                .expect("mem cache lock")
-                .insert(key.to_string(), Arc::clone(doc));
+            locked(&self.mem).insert(key.to_string(), Arc::clone(doc));
         }
-        *flight.slot.lock().expect("flight slot lock") = Some(result.clone());
+        *locked(&flight.slot) = Some(result.clone());
         flight.ready.notify_all();
-        self.flights.lock().expect("flights lock").remove(key);
+        locked(&self.flights).remove(key);
         result
     }
 
@@ -635,7 +631,7 @@ impl<E: Engine> Server<E> {
 
     /// Takes one admission slot, or `None` when the queue is full.
     fn admit(&self) -> Option<AdmissionSlot<'_, E>> {
-        let mut active = self.active.lock().expect("admission lock");
+        let mut active = locked(&self.active);
         if *active >= self.cfg.queue {
             return None;
         }
@@ -680,25 +676,28 @@ impl<E: Engine> Server<E> {
     /// connection, one request per connection (`Connection: close`).
     pub fn serve(self: &Arc<Self>, listener: TcpListener) -> io::Result<()> {
         let addr = listener.local_addr()?;
-        *self.addr.lock().expect("addr lock") = Some(addr);
+        *locked(&self.addr) = Some(addr);
         for stream in listener.incoming() {
             if self.stopping() {
                 break;
             }
             let Ok(stream) = stream else { continue };
             let server = Arc::clone(self);
-            *self.conns.lock().expect("conn count lock") += 1;
+            *locked(&self.conns) += 1;
             std::thread::spawn(move || {
                 server.handle_conn(stream);
-                *server.conns.lock().expect("conn count lock") -= 1;
+                *locked(&server.conns) -= 1;
                 server.conns_idle.notify_all();
             });
         }
         // Wait out in-flight handlers so every response written around
         // the stop flip is fully delivered before the process exits.
-        let mut n = self.conns.lock().expect("conn count lock");
+        let mut n = locked(&self.conns);
         while *n > 0 {
-            n = self.conns_idle.wait(n).expect("conn count lock");
+            n = self
+                .conns_idle
+                .wait(n)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         Ok(())
     }
@@ -733,7 +732,7 @@ impl<E: Engine> Server<E> {
         // loop — a sibling handler observing the flag mid-flight must
         // not trigger the exit while responses are still being written.
         if self.stopping() && req.target == "/shutdown" {
-            if let Some(addr) = *self.addr.lock().expect("addr lock") {
+            if let Some(addr) = *locked(&self.addr) {
                 let _ = TcpStream::connect(addr);
             }
         }
@@ -744,7 +743,7 @@ impl<E: Engine> Server<E> {
     fn record_epoch(&self, req: &Request, status: u16, micros: u64) {
         self.observe_latency_us(micros);
         let number = self.metrics.epoch.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut ring = self.metrics.epochs.lock().expect("epoch ring lock");
+        let mut ring = locked(&self.metrics.epochs);
         if ring.len() == EPOCH_RING {
             ring.pop_front();
         }
@@ -886,7 +885,7 @@ mod tests {
         assert_eq!(srv.handle(&sweep_req(&["cell:a"])).status, 200);
         // The slot came back: the next request is admitted again.
         assert_eq!(srv.handle(&sweep_req(&["cell:b"])).status, 200);
-        assert_eq!(*srv.active.lock().expect("admission lock"), 0);
+        assert_eq!(*locked(&srv.active), 0);
     }
 
     #[test]

@@ -146,6 +146,15 @@ fn malformed_json_is_400() {
 }
 
 #[test]
+fn deep_nesting_is_400() {
+    // 500 nested arrays: the JSON parser's depth cap must turn a
+    // hostile payload into a wire error, not a worker stack overflow.
+    let body = format!("{}0{}", "[".repeat(500), "]".repeat(500)).into_bytes();
+    let req = Request::new("POST", "/sweep", body);
+    assert_eq!(golden_case("deep_nesting", &server(4), &req), 400);
+}
+
+#[test]
 fn unknown_figure_is_404() {
     let req = Request::new("POST", "/sweep", sweep_body(&[], &["figZ"]));
     assert_eq!(golden_case("unknown_figure", &server(4), &req), 404);

@@ -122,6 +122,9 @@ impl PageTable {
     pub fn translate_or_fault(&mut self, vpn: Vpn) -> &mut Pte {
         let asid = self.asid;
         let seq = &mut self.next_seq;
+        // Demand paging allocates the PTE exactly once per page, on
+        // first touch; warm re-translations land on the occupied entry.
+        // tdc-lint: allow(hot-path-alloc)
         self.entries.entry(vpn).or_insert_with(|| {
             let s = *seq;
             *seq += 1;

@@ -219,7 +219,11 @@ impl Json {
     /// optional trailing whitespace.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
-        let mut p = Parser { bytes, pos: 0 };
+        let mut p = Parser {
+            bytes,
+            pos: 0,
+            depth: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -291,9 +295,16 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Containers parse by recursion, so nesting depth is stack depth;
+/// the cap turns a hostile `[[[[…` input into a parse error instead
+/// of a stack overflow. 128 is far beyond any legitimate tdc payload
+/// (real artifacts nest single digits deep).
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -338,12 +349,25 @@ impl<'a> Parser<'a> {
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Parser::array),
+            Some(b'{') => self.nested(Parser::object),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             Some(_) => Err(self.err("unexpected character")),
             None => Err(self.err("unexpected end of input")),
         }
+    }
+
+    fn nested(
+        &mut self,
+        f: fn(&mut Self) -> Result<Json, JsonError>,
+    ) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("containers nested deeper than 128 levels"));
+        }
+        self.depth += 1;
+        let v = f(self);
+        self.depth -= 1;
+        v
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
@@ -577,6 +601,24 @@ mod tests {
             Json::Arr(a) => assert_eq!(a[3].as_str().unwrap(), "xé🦀"),
             other => panic!("expected array, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_caps_container_nesting() {
+        let ok = format!("{}0{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&ok).is_ok());
+
+        let arrays = format!("{}0{}", "[".repeat(500), "]".repeat(500));
+        let err = Json::parse(&arrays).unwrap_err();
+        assert!(err.message.contains("nested deeper"), "{err}");
+
+        let objects = format!("{}1{}", r#"{"k":"#.repeat(500), "}".repeat(500));
+        assert!(Json::parse(&objects).is_err());
+
+        // The cap counts *open* containers, so siblings don't
+        // accumulate: many shallow containers stay parseable.
+        let siblings = format!("[{}0]", "[0],".repeat(500));
+        assert!(Json::parse(&siblings).is_ok());
     }
 
     #[test]

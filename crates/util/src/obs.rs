@@ -257,6 +257,11 @@ impl ProfRecorder {
     }
 
     /// Opens a span for `phase`.
+    ///
+    /// Profiling is opt-in diagnostics (`tdc prof`); the span stack's
+    /// amortized growth is recorder overhead the report subtracts, not
+    /// simulated work, so it sits outside the hot-path budget.
+    // tdc-lint: cold
     pub fn begin(&mut self, phase: Phase) {
         self.stack.push((phase, Instant::now(), 0)); // tdc-lint: allow(time-source)
     }

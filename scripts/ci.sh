@@ -27,6 +27,9 @@ trap 'rm -rf "$out"' EXIT
 ./target/release/tdc lint --out "$out"
 test -s "$out/lint.json" || { echo "lint wrote no lint.json" >&2; exit 1; }
 
+echo "== lint: hot-path allocation gate (--only filter smoke) =="
+./target/release/tdc lint --only hot-path-alloc --no-out
+
 echo "== smoke: tdc all --jobs 2 at 5% scale (cold, populating the store) =="
 ./target/release/tdc all --jobs 2 --scale 0.05 --quiet --out "$out" \
     --cache-dir "$out/store"
