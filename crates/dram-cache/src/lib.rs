@@ -50,7 +50,8 @@ pub use bank_interleave::BankInterleave;
 pub use gipt::{Gipt, GiptEntry};
 pub use ideal::Ideal;
 pub use l3::{
-    AccessCase, Frame, L3Stats, L3System, MemoryOutcome, SystemParams, TranslationOutcome,
+    AccessCase, AccessOutcome, AccessRequest, Frame, L3Stats, L3System, MemoryOutcome,
+    SystemParams, TranslationOutcome,
 };
 pub use mmu::{ConvTranslation, ConventionalFront, Mmu, MmuParams};
 pub use no_l3::NoL3;

@@ -31,7 +31,7 @@ use std::collections::BTreeMap;
 use tdc_dram::{AccessKind, DramController, DramStats};
 use tdc_tlb::{walk_addresses, PageTable, TlbEntry, Translation};
 use tdc_util::probe::{Device, NoProbe, Phase, Probe, ProbeEvent};
-use tdc_util::{Cpn, Cycle, Vpn, PAGE_SIZE};
+use tdc_util::{Cpn, Cycle, FlatMap, Vpn, PAGE_SIZE};
 
 /// Physical region backing the GIPT itself (its updates are real
 /// off-package memory writes).
@@ -50,9 +50,9 @@ pub struct TaglessCache<P: Probe = NoProbe> {
     in_pkg: DramController<P>,
     off_pkg: DramController<P>,
     probe: P,
-    /// PU bit: fills in flight, keyed by (asid, vpn), holding the cycle
-    /// the copy completes.
-    pending_fills: BTreeMap<(u32, u64), Cycle>,
+    /// PU bit: fills in flight, keyed by [`Self::page_key`], holding the
+    /// cycle the copy completes.
+    pending_fills: FlatMap<Cycle>,
     alpha: u64,
     stats: L3Stats,
     /// Fills that had to bypass because every slot was TLB-resident
@@ -63,8 +63,9 @@ pub struct TaglessCache<P: Probe = NoProbe> {
     /// cache, the paper's default). Implements the §3.5 "flexible
     /// caching policy in the TLB miss handler" claim, CHOP-style.
     fill_threshold: u32,
-    /// Per-page touch counts for the online filter.
-    touch_counts: BTreeMap<(u32, u64), u32>,
+    /// Per-page touch counts for the online filter, keyed by
+    /// [`Self::page_key`].
+    touch_counts: FlatMap<u32>,
     /// Pages the online filter declined to cache (served off-package).
     filtered_bypasses: u64,
     /// Whether GIPT updates are charged as two off-package writes (the
@@ -138,12 +139,12 @@ impl<P: Probe + Clone> TaglessCache<P> {
                 Device::OffPackage,
             ),
             probe,
-            pending_fills: BTreeMap::new(),
+            pending_fills: FlatMap::new(),
             alpha: params.alpha,
             stats: L3Stats::default(),
             bypassed_fills: 0,
             fill_threshold: 0,
-            touch_counts: BTreeMap::new(),
+            touch_counts: FlatMap::new(),
             filtered_bypasses: 0,
             charge_gipt: true,
             alias_table: None,
@@ -236,6 +237,16 @@ impl<P: Probe> TaglessCache<P> {
 
     fn in_pkg_addr(cpn: Cpn, block: u64) -> u64 {
         cpn.0 * PAGE_SIZE + block * 64
+    }
+
+    /// Packs an `(asid, vpn)` page identity into one [`FlatMap`] key:
+    /// 24 bits of ASID above the architectural 40-bit VPN (52-bit VA
+    /// space minus the 12-bit page offset).
+    #[inline]
+    fn page_key(asid: u32, vpn: Vpn) -> u64 {
+        debug_assert!(vpn.0 < 1 << 40, "VPN exceeds 40-bit packing field");
+        debug_assert!(asid < 1 << 24, "ASID exceeds 24-bit packing field");
+        (asid as u64) << 40 | vpn.0
     }
 
     /// Whether any core's TLB still maps the page held by `cpn`.
@@ -484,7 +495,7 @@ impl<P: Probe> TaglessCache<P> {
             .expect("just faulted in");
         pte.frame = Translation::Cache(cpn);
         pte.pu = false;
-        self.pending_fills.insert((asid, vpn.0), rd.done);
+        self.pending_fills.insert(Self::page_key(asid, vpn), rd.done);
 
         if let Some(at) = self.alias_table.as_mut() {
             at.pa_to_ca.insert(ppn.0, cpn);
@@ -533,12 +544,12 @@ impl<P: Probe> TaglessCache<P> {
         // PU bit: if another thread's fill for this page is in flight,
         // busy-wait until it completes instead of filling again.
         let mut t = t;
-        if let Some(&done) = self.pending_fills.get(&(asid, vpn.0)) {
+        if let Some(done) = self.pending_fills.get(Self::page_key(asid, vpn)) {
             if done > t {
                 t = done;
                 self.stats.pu_suppressed_fills += 1;
             } else {
-                self.pending_fills.remove(&(asid, vpn.0));
+                self.pending_fills.remove(Self::page_key(asid, vpn));
             }
         }
 
@@ -623,12 +634,18 @@ impl<P: Probe> TaglessCache<P> {
                 // Online hot-page filter (§3.5 flexibility): cold pages
                 // are served off-package until they prove reuse.
                 if self.fill_threshold > 0 {
-                    let count = self
-                        .touch_counts
-                        .entry((asid, vpn.0))
-                        .and_modify(|c| *c += 1)
-                        .or_insert(1);
-                    if *count < self.fill_threshold {
+                    let key = Self::page_key(asid, vpn);
+                    let count = match self.touch_counts.get_mut(key) {
+                        Some(c) => {
+                            *c += 1;
+                            *c
+                        }
+                        None => {
+                            self.touch_counts.insert(key, 1);
+                            1
+                        }
+                    };
+                    if count < self.fill_threshold {
                         self.filtered_bypasses += 1;
                         if self.probe.enabled() {
                             self.probe
@@ -1054,6 +1071,43 @@ mod tests {
         let tr2 = t.translate(1_000_000, 0, Vpn(1), false);
         assert_eq!(tr2.frame, tr.frame, "contents survive reset");
         assert!(tr2.tlb_hit);
+    }
+
+    #[test]
+    fn batched_entry_point_matches_split_calls() {
+        use crate::l3::AccessRequest;
+        // The fused/batched path must produce exactly the outcomes of
+        // separate translate() + access() calls on an identical system.
+        let reqs: Vec<AccessRequest> = (0..32u64)
+            .map(|i| AccessRequest {
+                core: (i % 2) as usize,
+                vpn: Vpn(i % 12),
+                block: i % 64,
+                is_write: false,
+            })
+            .collect();
+        let gap = 50;
+        let mut split = tagless(64);
+        let mut expected = Vec::new();
+        let mut t = 0;
+        for &r in &reqs {
+            let tr = split.translate(t, r.core, r.vpn, r.is_write);
+            let m = split.access(t + tr.penalty, r.core, tr.frame, tr.nc, r.block);
+            expected.push((tr, m, t + tr.penalty + m.latency));
+            t += gap;
+        }
+        let mut batched = tagless(64);
+        let sys: &mut dyn L3System = &mut batched;
+        let mut out = Vec::new();
+        let done = sys.translate_access_batch(0, gap, &reqs, &mut out);
+        assert_eq!(out.len(), reqs.len());
+        for (o, (tr, m, d)) in out.iter().zip(&expected) {
+            assert_eq!(o.translation, *tr);
+            assert_eq!(o.memory, *m);
+            assert_eq!(o.done, *d);
+        }
+        assert_eq!(done, expected.last().unwrap().2);
+        assert_eq!(sys.translate_access_batch(done, gap, &[], &mut out), done);
     }
 
     #[test]

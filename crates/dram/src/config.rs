@@ -113,6 +113,10 @@ impl DramConfig {
     }
 
     /// Maps a device-local address to `(channel, global bank index, row)`.
+    ///
+    /// Reference implementation; the controller uses the precomputed
+    /// [`AddrMapper`] (same function, shift/mask arithmetic when the
+    /// geometry is power-of-two).
     pub fn map_addr(&self, addr: u64) -> (u32, u32, u64) {
         let banks = self.total_banks() as u64;
         match self.addr_map {
@@ -127,6 +131,93 @@ impl DramConfig {
                 let bank = (block % banks) as u32;
                 let channel = bank % self.channels;
                 (channel, bank, addr / self.row_bytes)
+            }
+        }
+    }
+
+    /// Builds the precomputed access-path mapper for this geometry.
+    pub fn mapper(&self) -> AddrMapper {
+        AddrMapper::new(self)
+    }
+}
+
+/// A divide/modulo pair strength-reduced to shift/mask when the divisor
+/// is a power of two (every Table 3 geometry is).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Divisor {
+    Pow2 { shift: u32, mask: u64 },
+    General(u64),
+}
+
+impl Divisor {
+    fn new(d: u64) -> Self {
+        debug_assert!(d > 0, "divisor must be positive");
+        if d.is_power_of_two() {
+            Divisor::Pow2 {
+                shift: d.trailing_zeros(),
+                mask: d - 1,
+            }
+        } else {
+            Divisor::General(d)
+        }
+    }
+
+    #[inline]
+    fn div(self, x: u64) -> u64 {
+        match self {
+            Divisor::Pow2 { shift, .. } => x >> shift,
+            Divisor::General(d) => x / d,
+        }
+    }
+
+    #[inline]
+    fn rem(self, x: u64) -> u64 {
+        match self {
+            Divisor::Pow2 { mask, .. } => x & mask,
+            Divisor::General(d) => x % d,
+        }
+    }
+}
+
+/// Precomputed address→(channel, bank, row) mapping for the access
+/// path: [`DramConfig::map_addr`] with the per-access divides strength-
+/// reduced at construction (DESIGN.md §15). Produces bit-identical
+/// results to `map_addr` for every geometry, power-of-two or not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrMapper {
+    addr_map: AddrMap,
+    row: Divisor,
+    banks: Divisor,
+    channels: Divisor,
+}
+
+impl AddrMapper {
+    /// Precomputes the mapper for `config`'s geometry.
+    pub fn new(config: &DramConfig) -> Self {
+        Self {
+            addr_map: config.addr_map,
+            row: Divisor::new(config.row_bytes),
+            banks: Divisor::new(config.total_banks() as u64),
+            channels: Divisor::new(config.channels as u64),
+        }
+    }
+
+    /// Maps a device-local address to `(channel, global bank index,
+    /// row)`; identical to [`DramConfig::map_addr`].
+    #[inline]
+    pub fn map(&self, addr: u64) -> (u32, u32, u64) {
+        match self.addr_map {
+            AddrMap::RowInterleave => {
+                let row_index = self.row.div(addr);
+                let bank = self.banks.rem(row_index) as u32;
+                let channel = self.channels.rem(bank as u64) as u32;
+                (channel, bank, self.banks.div(row_index))
+            }
+            AddrMap::BlockInterleave => {
+                let block = addr >> 6;
+                let bank = self.banks.rem(block) as u32;
+                let channel = self.channels.rem(bank as u64) as u32;
+                (channel, bank, self.row.div(addr))
             }
         }
     }
@@ -194,6 +285,46 @@ mod tests {
         let (_, b0, _) = cfg.map_addr(0);
         let (_, b1, _) = cfg.map_addr(64);
         assert_ne!(b0, b1);
+    }
+
+    #[test]
+    fn mapper_matches_map_addr_for_every_geometry() {
+        // Differential property: the precomputed mapper must agree with
+        // the reference division on power-of-two geometries (the shift/
+        // mask fast path) and non-power-of-two ones (the fallback).
+        let mut configs = vec![
+            DramConfig::in_package_1gb(),
+            DramConfig::off_package_8gb(),
+        ];
+        let mut odd = DramConfig::in_package_1gb();
+        odd.banks_per_rank = 3;
+        odd.ranks = 3;
+        odd.channels = 3;
+        configs.push(odd);
+        let mut block = DramConfig::off_package_8gb();
+        block.addr_map = AddrMap::BlockInterleave;
+        configs.push(block);
+        let mut odd_block = DramConfig::in_package_1gb();
+        odd_block.addr_map = AddrMap::BlockInterleave;
+        odd_block.banks_per_rank = 5;
+        configs.push(odd_block);
+        for cfg in &configs {
+            let mapper = cfg.mapper();
+            let mut addr: u64 = 0;
+            // Dense low addresses plus a multiplicative sweep across the
+            // whole device (hits row, bank, and channel boundaries).
+            for i in 0..20_000u64 {
+                let probe = if i < 4096 { i } else { addr };
+                assert_eq!(
+                    mapper.map(probe),
+                    cfg.map_addr(probe),
+                    "{}: addr {probe:#x}",
+                    cfg.name
+                );
+                addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+                    % cfg.capacity_bytes;
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! matter for the paper's results — at a fraction of the cost of a full
 //! command-level simulation.
 
-use crate::config::DramConfig;
+use crate::config::{AddrMapper, DramConfig};
 use tdc_util::probe::{Device, NoProbe, Phase, Probe, ProbeEvent, RowEvent};
 use tdc_util::Cycle;
 
@@ -50,14 +50,9 @@ enum RowOutcome {
     Conflict,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Bank {
-    open_row: Option<u64>,
-    /// Earliest cycle the bank can start a new column/row command.
-    ready_at: Cycle,
-    /// Cycle of the last activation, for tRAS accounting.
-    act_at: Cycle,
-}
+/// Sentinel in `bank_open_row` for a precharged (closed) bank. Row
+/// indices are bounded by `capacity / row_bytes`, far below this.
+const NO_ROW: u64 = u64::MAX;
 
 /// Aggregate controller statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -120,8 +115,22 @@ impl DramStats {
 #[derive(Debug, Clone)]
 pub struct DramController<P: Probe = NoProbe> {
     config: DramConfig,
-    banks: Vec<Bank>,
+    /// Precomputed address decomposition (shift/mask for power-of-two
+    /// geometries).
+    mapper: AddrMapper,
+    // Bank state, struct-of-arrays (DESIGN.md §15): the hot access path
+    // reads one lane per decision instead of a padded AoS record.
+    /// Open row per bank, [`NO_ROW`] when precharged.
+    bank_open_row: Vec<u64>,
+    /// Earliest cycle each bank can start a new column/row command.
+    bank_ready_at: Vec<Cycle>,
+    /// Cycle of each bank's last activation, for tRAS accounting.
+    bank_act_at: Vec<Cycle>,
     bus_free_at: Vec<Cycle>,
+    /// Cached `transfer_cycles(64)` — every access needs it.
+    xfer_block: Cycle,
+    /// Cached `transfer_cycles(row_bytes)` for page-sized fills.
+    xfer_row: Cycle,
     stats: DramStats,
     probe: P,
     device: Device,
@@ -139,15 +148,33 @@ impl<P: Probe> DramController<P> {
     /// as `device`. [`DramController::new`] is the un-instrumented
     /// equivalent (the probe folds away entirely).
     pub fn with_probe(config: DramConfig, probe: P, device: Device) -> Self {
-        let banks = vec![Bank::default(); config.total_banks() as usize];
+        let n = config.total_banks() as usize;
         let bus_free_at = vec![0; config.channels as usize];
         Self {
+            mapper: config.mapper(),
+            xfer_block: config.transfer_cycles(64),
+            xfer_row: config.transfer_cycles(config.row_bytes),
             config,
-            banks,
+            bank_open_row: vec![NO_ROW; n],
+            bank_ready_at: vec![0; n],
+            bank_act_at: vec![0; n],
             bus_free_at,
             stats: DramStats::default(),
             probe,
             device,
+        }
+    }
+
+    /// Transfer time for `bytes`, via the cached values for the two
+    /// sizes the simulator actually moves (64B blocks and full rows).
+    #[inline]
+    fn xfer(&self, bytes: u64) -> Cycle {
+        if bytes == 64 {
+            self.xfer_block
+        } else if bytes == self.config.row_bytes {
+            self.xfer_row
+        } else {
+            self.config.transfer_cycles(bytes)
         }
     }
 
@@ -182,29 +209,32 @@ impl<P: Probe> DramController<P> {
         if self.probe.prof_enabled() {
             self.probe.phase_begin(Phase::Dram);
         }
-        let (channel, bank_idx, row) = self.config.map_addr(addr);
+        let (channel, bank_idx, row) = self.mapper.map(addr);
+        debug_assert_ne!(row, NO_ROW, "row index collides with sentinel");
         let t = self.config.timing;
-        let bank = &mut self.banks[bank_idx as usize];
+        let b = bank_idx as usize;
 
-        let start = now.max(bank.ready_at);
-        let (outcome, data_at, new_act_at) = match bank.open_row {
-            Some(r) if r == row => (RowOutcome::Hit, start + t.t_aa(), bank.act_at),
-            Some(_) => {
-                // Precharge may not begin before tRAS has elapsed since
-                // the last activation.
-                let pre_at = start.max(bank.act_at + t.t_ras());
-                let act_at = pre_at + t.t_rp();
-                (RowOutcome::Conflict, act_at + t.t_rcd() + t.t_aa(), act_at)
-            }
-            None => (RowOutcome::Closed, start + t.t_rcd() + t.t_aa(), start),
+        let start = now.max(self.bank_ready_at[b]);
+        let open = self.bank_open_row[b];
+        let (outcome, data_at, new_act_at) = if open == row {
+            (RowOutcome::Hit, start + t.t_aa(), self.bank_act_at[b])
+        } else if open != NO_ROW {
+            // Precharge may not begin before tRAS has elapsed since
+            // the last activation.
+            let pre_at = start.max(self.bank_act_at[b] + t.t_ras());
+            let act_at = pre_at + t.t_rp();
+            (RowOutcome::Conflict, act_at + t.t_rcd() + t.t_aa(), act_at)
+        } else {
+            (RowOutcome::Closed, start + t.t_rcd() + t.t_aa(), start)
         };
 
         // Reserve the channel data bus.
+        let first_xfer = self.xfer(bytes.min(64));
+        let full_xfer = self.xfer(bytes);
         let bus = &mut self.bus_free_at[channel as usize];
         let xfer_begin = data_at.max(*bus);
-        let first_block = bytes.min(64);
-        let first_data = xfer_begin + self.config.transfer_cycles(first_block);
-        let done = xfer_begin + self.config.transfer_cycles(bytes);
+        let first_data = xfer_begin + first_xfer;
+        let done = xfer_begin + full_xfer;
         self.stats.bus_busy_cycles += done - xfer_begin;
         *bus = done;
 
@@ -215,19 +245,19 @@ impl<P: Probe> DramController<P> {
         // reads' point of view — their array work drains into idle bank
         // slots, as with real write-queue batching.
         if kind == AccessKind::Read {
-            bank.open_row = Some(row);
-            bank.act_at = new_act_at;
+            self.bank_open_row[b] = row;
+            self.bank_act_at[b] = new_act_at;
             // Column commands to an open row pipeline at the burst rate
             // (tCCD); the data-bus reservation above serializes the
             // actual transfers. A fresh activation keeps the bank busy
             // until the column command issues; multi-burst (page)
             // transfers occupy the bank until the last burst leaves the
             // row.
-            bank.ready_at = if bytes > 64 {
+            self.bank_ready_at[b] = if bytes > 64 {
                 done
             } else {
                 match outcome {
-                    RowOutcome::Hit => start + self.config.transfer_cycles(64),
+                    RowOutcome::Hit => start + self.xfer_block,
                     _ => new_act_at + t.t_rcd(),
                 }
             };

@@ -199,11 +199,16 @@ fn update(opts: &DiffOptions, ids: &[String]) -> Result<(), String> {
     fs::create_dir_all(&opts.dir)
         .map_err(|e| format!("cannot create {}: {e}", opts.dir.display()))?;
     let mut entries = Vec::new();
+    let mut rewritten = 0usize;
     for id in ids {
         let fig = generate(id, &harness).ok_or_else(|| format!("unknown figure id '{id}'"))?;
         let file = format!("{}.json", fig.id);
-        fs::write(opts.dir.join(&file), fig.json.pretty())
-            .map_err(|e| format!("cannot write {file}: {e}"))?;
+        if write_if_changed(&opts.dir.join(&file), &fig.json.pretty())? {
+            rewritten += 1;
+            if !opts.quiet {
+                eprintln!("tdc diff: {id:<8} rewritten (bytes changed)");
+            }
+        }
         entries.push(Json::obj([
             ("id", Json::from(fig.id)),
             ("title", Json::from(fig.title.as_str())),
@@ -214,10 +219,12 @@ fn update(opts: &DiffOptions, ids: &[String]) -> Result<(), String> {
         ("config", config_json(&cfg)),
         ("figures", Json::Arr(entries)),
     ]);
-    fs::write(opts.dir.join("index.json"), index.pretty())
-        .map_err(|e| format!("cannot write index.json: {e}"))?;
+    if write_if_changed(&opts.dir.join("index.json"), &index.pretty())? {
+        rewritten += 1;
+    }
     eprintln!(
-        "tdc diff: baseline updated under {} ({} figures, seed={}, warmup={} measured={} refs/core)",
+        "tdc diff: baseline updated under {} ({} figures, {rewritten} file(s) rewritten, \
+         seed={}, warmup={} measured={} refs/core)",
         opts.dir.display(),
         ids.len(),
         cfg.seed,
@@ -225,6 +232,20 @@ fn update(opts: &DiffOptions, ids: &[String]) -> Result<(), String> {
         cfg.measured_refs
     );
     Ok(())
+}
+
+/// Writes `content` to `path` only when the on-disk bytes differ, so an
+/// `--update` over an unchanged simulator leaves the baseline tree (and
+/// its mtimes / VCS status) untouched. Returns whether a write happened.
+fn write_if_changed(path: &Path, content: &str) -> Result<bool, String> {
+    if let Ok(existing) = fs::read(path) {
+        if existing == content.as_bytes() {
+            return Ok(false);
+        }
+    }
+    fs::write(path, content)
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(true)
 }
 
 /// Regenerates every baselined figure under the baseline's own
@@ -397,5 +418,17 @@ mod tests {
     fn missing_baseline_reports_cleanly() {
         let opts = parse(&strs(&["/nonexistent/baseline-dir"])).unwrap();
         assert!(check(&opts).is_err());
+    }
+
+    #[test]
+    fn write_if_changed_skips_identical_bytes() {
+        let dir = std::env::temp_dir().join(format!("tdc-wic-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig.json");
+        assert!(write_if_changed(&path, "abc").unwrap(), "first write");
+        assert!(!write_if_changed(&path, "abc").unwrap(), "identical bytes");
+        assert!(write_if_changed(&path, "abcd").unwrap(), "changed bytes");
+        assert_eq!(fs::read_to_string(&path).unwrap(), "abcd");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

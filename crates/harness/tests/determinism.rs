@@ -143,6 +143,31 @@ fn plan_is_identical_across_repeated_enumerations() {
     assert_eq!(a, b);
 }
 
+#[test]
+fn checked_in_baseline_is_reproduced_by_the_flat_structures() {
+    // The seed baseline under baselines/scale-0.25 was generated before
+    // the struct-of-arrays access-path refactor; the flat structures
+    // must reproduce it bit-for-bit. `tdc diff` regenerates every figure
+    // under the baseline's own recorded config and, on drift, names the
+    // figure and the exact leaves that moved — a readable report rather
+    // than a blob mismatch.
+    let baseline = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../baselines/scale-0.25");
+    assert!(
+        baseline.join("index.json").is_file(),
+        "checked-in baseline missing at {}",
+        baseline.display()
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_tdc"))
+        .args(["diff", baseline.to_str().expect("utf-8 path"), "--quiet"])
+        .output()
+        .expect("tdc runs");
+    assert!(
+        out.status.success(),
+        "figures drifted from the checked-in baseline:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
 fn read_tree(dir: &Path) -> BTreeMap<String, Vec<u8>> {
     let mut files = BTreeMap::new();
     let mut stack = vec![dir.to_path_buf()];

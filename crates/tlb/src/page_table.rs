@@ -1,6 +1,6 @@
 //! Page-table entries and per-process page tables.
 
-use std::collections::BTreeMap;
+use tdc_util::flat::FlatMap;
 use tdc_util::{Cpn, Ppn, Vpn};
 
 /// Where a virtual page currently resolves to.
@@ -69,10 +69,22 @@ impl Pte {
 /// hash so that consecutive virtual pages do not map to consecutive
 /// physical pages (as after real OS fragmentation). This matters for the
 /// set-indexing behaviour of the SRAM-tag baseline.
+///
+/// Storage is flat (DESIGN.md §15): PTEs live in a dense `Vec` in
+/// first-touch order, reached through an open-addressed VPN index
+/// ([`FlatMap`]) — the `BTreeMap` this replaced is kept as the
+/// `#[cfg(test)]` reference model below. Frame assignment depends only
+/// on the first-touch *sequence*, which both layouts share, so the
+/// switch cannot move a single page.
 #[derive(Debug, Clone)]
 pub struct PageTable {
     asid: u32,
-    entries: BTreeMap<Vpn, Pte>,
+    /// `vpn → dense slot` index; the only structure probed on lookups.
+    index: FlatMap<u32>,
+    /// PTE storage, dense in first-touch order.
+    ptes: Vec<Pte>,
+    /// VPN per dense slot (for iteration and diagnostics).
+    vpns: Vec<Vpn>,
     next_seq: u64,
 }
 
@@ -87,7 +99,9 @@ impl PageTable {
     pub fn new(asid: u32) -> Self {
         Self {
             asid,
-            entries: BTreeMap::new(),
+            index: FlatMap::new(),
+            ptes: Vec::new(),
+            vpns: Vec::new(),
             next_seq: 0,
         }
     }
@@ -99,37 +113,52 @@ impl PageTable {
 
     /// Number of mapped pages.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.ptes.len()
     }
 
     /// Whether no pages are mapped.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.ptes.is_empty()
     }
 
     /// Looks up a PTE without faulting.
+    #[inline]
     pub fn get(&self, vpn: Vpn) -> Option<&Pte> {
-        self.entries.get(&vpn)
+        self.index.get(vpn.0).map(|i| &self.ptes[i as usize])
     }
 
     /// Mutable lookup without faulting.
+    #[inline]
     pub fn get_mut(&mut self, vpn: Vpn) -> Option<&mut Pte> {
-        self.entries.get_mut(&vpn)
+        self.index.get(vpn.0).map(|i| &mut self.ptes[i as usize])
     }
 
     /// Returns the PTE for `vpn`, allocating a physical frame on first
     /// touch (demand paging).
+    #[inline]
     pub fn translate_or_fault(&mut self, vpn: Vpn) -> &mut Pte {
-        let asid = self.asid;
-        let seq = &mut self.next_seq;
-        // Demand paging allocates the PTE exactly once per page, on
-        // first touch; warm re-translations land on the occupied entry.
-        // tdc-lint: allow(hot-path-alloc)
-        self.entries.entry(vpn).or_insert_with(|| {
-            let s = *seq;
-            *seq += 1;
-            Pte::physical(Self::frame_for(asid, s))
-        })
+        if let Some(i) = self.index.get(vpn.0) {
+            return &mut self.ptes[i as usize];
+        }
+        self.fault_in(vpn, None)
+    }
+
+    /// Demand paging allocates the PTE exactly once per page, on first
+    /// touch; warm re-translations land on the occupied entry above.
+    fn fault_in(&mut self, vpn: Vpn, frame: Option<Ppn>) -> &mut Pte {
+        let ppn = frame.unwrap_or_else(|| {
+            let s = self.next_seq;
+            self.next_seq += 1;
+            Self::frame_for(self.asid, s)
+        });
+        let slot = self.ptes.len();
+        debug_assert!(slot <= u32::MAX as usize, "page table exceeds u32 slots");
+        self.ptes.push(Pte::physical(ppn)); // tdc-lint: allow(hot-path-alloc) first touch only
+        self.vpns.push(vpn); // tdc-lint: allow(hot-path-alloc) first touch only
+        // tdc-lint: allow(cast-truncation, hot-path-alloc) slot bound debug_assert-pinned; first touch only
+        let old = self.index.insert(vpn.0, slot as u32);
+        debug_assert!(old.is_none(), "VPN {vpn:?} double-faulted");
+        &mut self.ptes[slot]
     }
 
     /// Deterministic scattered frame assignment.
@@ -163,13 +192,26 @@ impl PageTable {
     ///
     /// Panics if the page is already mapped.
     pub fn map_shared(&mut self, vpn: Vpn, ppn: Ppn) {
-        let old = self.entries.insert(vpn, Pte::physical(ppn));
-        assert!(old.is_none(), "page already mapped");
+        assert!(!self.index.contains_key(vpn.0), "page already mapped");
+        self.fault_in(vpn, Some(ppn));
     }
 
-    /// Iterates over all mapped `(vpn, pte)` pairs.
+    /// Iterates over all mapped `(vpn, pte)` pairs in VPN order.
     pub fn iter(&self) -> impl Iterator<Item = (&Vpn, &Pte)> {
-        self.entries.iter()
+        let mut order: Vec<usize> = (0..self.vpns.len()).collect();
+        order.sort_by_key(|&i| self.vpns[i]);
+        order.into_iter().map(move |i| (&self.vpns[i], &self.ptes[i]))
+    }
+}
+
+impl std::ops::Index<Vpn> for PageTable {
+    type Output = Pte;
+
+    /// Panics if `vpn` is unmapped (use [`PageTable::get`] to probe).
+    fn index(&self, vpn: Vpn) -> &Pte {
+        self.get(vpn)
+            // tdc-lint: allow(panic-in-lib) documented panicking accessor
+            .unwrap_or_else(|| panic!("PageTable: {vpn:?} not mapped"))
     }
 }
 
@@ -246,5 +288,232 @@ mod tests {
         let mut pt = PageTable::new(0);
         pt.translate_or_fault(Vpn(7)).frame = Translation::Cache(Cpn(1));
         pt.set_non_cacheable(Vpn(7));
+    }
+
+    #[test]
+    fn index_accessor_and_sorted_iteration() {
+        let mut pt = PageTable::new(0);
+        // Touch out of order; iteration must come back VPN-sorted (the
+        // order the old BTreeMap guaranteed).
+        for v in [9u64, 2, 500, 41] {
+            pt.translate_or_fault(Vpn(v));
+        }
+        assert_eq!(pt[Vpn(9)], *pt.get(Vpn(9)).unwrap());
+        let order: Vec<u64> = pt.iter().map(|(v, _)| v.0).collect();
+        assert_eq!(order, vec![2, 9, 41, 500]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not mapped")]
+    fn index_accessor_panics_on_unmapped() {
+        let pt = PageTable::new(0);
+        let _ = pt[Vpn(3)];
+    }
+
+    #[test]
+    #[should_panic(expected = "page already mapped")]
+    fn map_shared_over_mapped_page_panics() {
+        let mut pt = PageTable::new(0);
+        pt.translate_or_fault(Vpn(1));
+        pt.map_shared(Vpn(1), Ppn(77));
+    }
+}
+
+/// Differential tests: the flat page table against the original
+/// `BTreeMap`-backed model (DESIGN.md §15). Frame assignment must match
+/// *exactly* — it feeds the SRAM-tag baseline's set indexing, so a
+/// single diverging PPN would shift figure bytes.
+#[cfg(test)]
+mod differential {
+    use super::*;
+    use std::collections::BTreeMap;
+    use tdc_util::testkit::{assert_equiv, XorShift64};
+
+    /// The pre-refactor implementation, verbatim in behaviour.
+    struct RefPageTable {
+        asid: u32,
+        entries: BTreeMap<Vpn, Pte>,
+        next_seq: u64,
+    }
+
+    impl RefPageTable {
+        fn new(asid: u32) -> Self {
+            Self {
+                asid,
+                entries: BTreeMap::new(),
+                next_seq: 0,
+            }
+        }
+
+        fn translate_or_fault(&mut self, vpn: Vpn) -> &mut Pte {
+            let asid = self.asid;
+            let seq = &mut self.next_seq;
+            self.entries.entry(vpn).or_insert_with(|| {
+                let s = *seq;
+                *seq += 1;
+                let region_base = asid as u64 * PAGES_PER_ASID_REGION;
+                let scattered = s.wrapping_mul(0x9E37_79B9) & (PAGES_PER_ASID_REGION - 1);
+                Pte::physical(Ppn(region_base + scattered))
+            })
+        }
+
+        fn map_shared(&mut self, vpn: Vpn, ppn: Ppn) -> bool {
+            if self.entries.contains_key(&vpn) {
+                return false;
+            }
+            self.entries.insert(vpn, Pte::physical(ppn));
+            true
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// Demand-fault (or re-translate) a page, then flip some PTE
+        /// bits so state beyond the frame is exercised too.
+        Touch(u64, bool, bool),
+        /// Probe without faulting.
+        Get(u64),
+        /// Map an explicit shared frame (skipped if already mapped, so
+        /// traces never hit the documented panic).
+        Share(u64, u64),
+        /// Flip a cached page's mapping to a cache frame and back, as
+        /// fill/evict do.
+        CacheFlip(u64),
+    }
+
+    fn replay(ops: &[Op]) -> Result<(), String> {
+        let mut flat = PageTable::new(3);
+        let mut reference = RefPageTable::new(3);
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Touch(v, dirty, accessed) => {
+                    let a = flat.translate_or_fault(Vpn(v));
+                    a.dirty |= dirty;
+                    a.accessed |= accessed;
+                    let a = *a;
+                    let b = reference.translate_or_fault(Vpn(v));
+                    b.dirty |= dirty;
+                    b.accessed |= accessed;
+                    if a != *b {
+                        return Err(format!(
+                            "step {i} {op:?}: pte mismatch flat={a:?} ref={b:?}"
+                        ));
+                    }
+                }
+                Op::Get(v) => {
+                    let a = flat.get(Vpn(v)).copied();
+                    let b = reference.entries.get(&Vpn(v)).copied();
+                    if a != b {
+                        return Err(format!(
+                            "step {i} {op:?}: get mismatch flat={a:?} ref={b:?}"
+                        ));
+                    }
+                }
+                Op::Share(v, p) => {
+                    if reference.map_shared(Vpn(v), Ppn(p)) {
+                        flat.map_shared(Vpn(v), Ppn(p));
+                    }
+                }
+                Op::CacheFlip(v) => {
+                    for pte in [
+                        flat.get_mut(Vpn(v)),
+                        reference.entries.get_mut(&Vpn(v)),
+                    ]
+                    .into_iter()
+                    .flatten()
+                    {
+                        pte.frame = match pte.frame {
+                            Translation::Physical(p) => Translation::Cache(Cpn(p.0 % 1024)),
+                            Translation::Cache(c) => {
+                                Translation::Physical(Ppn(c.0))
+                            }
+                        };
+                    }
+                }
+            }
+            if flat.len() != reference.entries.len() {
+                return Err(format!(
+                    "step {i} {op:?}: len mismatch flat={} ref={}",
+                    flat.len(),
+                    reference.entries.len()
+                ));
+            }
+        }
+        // Full-state sweep: identical mapped set in identical order.
+        let a: Vec<(u64, Pte)> = flat.iter().map(|(v, p)| (v.0, *p)).collect();
+        let b: Vec<(u64, Pte)> = reference.entries.iter().map(|(v, p)| (v.0, *p)).collect();
+        if a != b {
+            return Err(format!(
+                "final sweep mismatch: flat has {} pages, ref {}",
+                a.len(),
+                b.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Trace family 1: streaming first-touch (mostly-new VPNs, the
+    /// demand-paging order that pins frame assignment).
+    fn streaming_trace(rng: &mut XorShift64, len: usize) -> Vec<Op> {
+        (0..len)
+            .map(|i| Op::Touch(i as u64 * 3 + rng.below(3), rng.chance(20), true))
+            .collect()
+    }
+
+    /// Trace family 2: skewed re-touch with PTE bit churn and cache
+    /// flips (warm translations must never re-allocate).
+    fn retouch_trace(rng: &mut XorShift64, len: usize) -> Vec<Op> {
+        (0..len)
+            .map(|_| {
+                let v = rng.below(200);
+                match rng.below(4) {
+                    0 => Op::Get(v),
+                    1 => Op::CacheFlip(v),
+                    _ => Op::Touch(v, rng.chance(50), rng.chance(50)),
+                }
+            })
+            .collect()
+    }
+
+    /// Trace family 3: shared mappings interleaved with demand faults
+    /// (the multi-process consolidation shape).
+    fn shared_trace(rng: &mut XorShift64, len: usize) -> Vec<Op> {
+        (0..len)
+            .map(|_| {
+                let v = rng.below(300);
+                if rng.chance(25) {
+                    Op::Share(v, 0xF00_000 + rng.below(64))
+                } else {
+                    Op::Touch(v, false, rng.chance(30))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_family_matches_reference() {
+        for seed in 1..=4u64 {
+            let mut rng = XorShift64::new(seed);
+            let ops = streaming_trace(&mut rng, 3000);
+            assert_equiv("page_table/streaming", &ops, replay);
+        }
+    }
+
+    #[test]
+    fn retouch_family_matches_reference() {
+        for seed in 10..=13u64 {
+            let mut rng = XorShift64::new(seed);
+            let ops = retouch_trace(&mut rng, 3000);
+            assert_equiv("page_table/retouch", &ops, replay);
+        }
+    }
+
+    #[test]
+    fn shared_family_matches_reference() {
+        for seed in 20..=23u64 {
+            let mut rng = XorShift64::new(seed);
+            let ops = shared_trace(&mut rng, 2000);
+            assert_equiv("page_table/shared", &ops, replay);
+        }
     }
 }

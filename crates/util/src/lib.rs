@@ -35,6 +35,13 @@
 //! * [`http`] — minimal HTTP/1.1 request/response plumbing over std
 //!   streams (strict parser, deterministic writer), the transport
 //!   under `tdc serve` and its load generator.
+//! * [`flat`] — flat hot-path containers (DESIGN.md §15): the
+//!   open-addressed [`FlatMap`] and fixed-capacity [`FixedRing`]
+//!   behind the access path's struct-of-arrays refactor.
+//! * [`testkit`] — the differential-testing harness: seeded
+//!   [`testkit::XorShift64`] trace generators and the
+//!   minimal-failing-prefix shrinker that reference-vs-flat model
+//!   tests report through.
 //!
 //! # Examples
 //!
@@ -49,6 +56,7 @@
 //! ```
 
 pub mod dist;
+pub mod flat;
 pub mod hash;
 pub mod http;
 pub mod json;
@@ -58,8 +66,10 @@ pub mod pool;
 pub mod probe;
 pub mod rng;
 pub mod stats;
+pub mod testkit;
 
 pub use dist::{Bernoulli, Geometric, Uniform, WeightedIndex, Zipf};
+pub use flat::{FixedRing, FlatMap};
 pub use hash::{fnv1a_64, shard_of};
 pub use json::{Json, JsonError};
 pub use mem::{CAddr, Cpn, Cycle, PAddr, Ppn, VAddr, Vpn};

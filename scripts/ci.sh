@@ -133,3 +133,11 @@ echo "== bench artifact (upload-or-print) =="
 # commit stamp; a CI provider would upload this file instead.
 stamp="$(ls "$out"/BENCH_*.json | head -n1)"
 cat "$stamp"
+
+if [ "${TDC_FULL_SCALE:-0}" = "1" ]; then
+    echo "== nightly: tdc all --scale 1.0 (full-scale smoke, TDC_FULL_SCALE=1) =="
+    ./target/release/tdc all --jobs 2 --scale 1.0 --quiet --out "$out/full"
+    test -s "$out/full/index.json" \
+        || { echo "full-scale run wrote no index.json" >&2; exit 1; }
+    echo "ok: $(find "$out/full" -name '*.json' | wc -l) artifacts at scale 1.0"
+fi
