@@ -245,6 +245,12 @@ pub fn micro_kernels() -> Vec<Kernel> {
             iters: 8,
             factory: k_lint_workspace_scan,
         },
+        Kernel {
+            group: "pool",
+            name: "steal_imbalanced",
+            iters: 64,
+            factory: k_pool_steal_imbalanced,
+        },
     ]
 }
 
@@ -500,6 +506,36 @@ fn k_lint_workspace_scan() -> Box<dyn FnMut() -> u64> {
     Box::new(move || {
         let report = tdc_lint::engine::run(&cfg).expect("workspace sources readable");
         report.graph.functions as u64
+    })
+}
+
+/// The work-stealing scheduler under a deliberately skewed task-cost
+/// distribution (DESIGN.md §16): 32 tasks on 4 workers where the first
+/// seeded slice is all boulders and the rest are pebbles, so finishing
+/// in balanced time requires the pebble workers to steal the boulder
+/// owner's leftovers. The kernel times one whole `run_tasks` batch —
+/// spawn, seeded-slice dispatch, steal sweeps, join — and the sum it
+/// returns is schedule-independent, so the value stream stays
+/// deterministic while the regression gate watches the scheduling
+/// cost. If stealing quietly stopped working, the batch would
+/// serialize behind the boulder slice and trip the gate.
+fn k_pool_steal_imbalanced() -> Box<dyn FnMut() -> u64> {
+    // 8 boulders followed by 24 pebbles: with 4 workers and contiguous
+    // seeding, worker 0 owns every boulder.
+    let costs: Vec<u64> = (0..32u64).map(|i| if i < 8 { 32_000 } else { 500 }).collect();
+    // The batch setup (deques, result slots) and per-task spin are the
+    // measured scheduler cost; this closure is the pool's own gate, not
+    // a simulator hot path.
+    // tdc-lint: cold
+    Box::new(move || {
+        let parts = tdc_util::pool::run_tasks(&costs, 4, |i, &spin| {
+            let mut acc = i as u64 + 1;
+            for k in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            acc
+        });
+        parts.iter().fold(0u64, |a, &p| a.wrapping_add(p))
     })
 }
 

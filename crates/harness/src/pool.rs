@@ -1,8 +1,9 @@
 //! The experiment-job front end of the shared worker pool.
 //!
 //! Scheduling is delegated to the generic [`tdc_util::pool::run_tasks`]
-//! scheduler (`std::thread::scope` + an atomic work index; no external
-//! crates); this module only adds the `Job`-specific pieces: per-job
+//! work-stealing scheduler (per-worker deques over `std::thread::scope`,
+//! DESIGN.md §16; no external crates); this module only adds the
+//! `Job`-specific pieces: per-job
 //! wall-clock timing and the progress callback. Scheduling order is
 //! **irrelevant to results**: every job is a pure function of its own
 //! fields (all RNG streams derive from the job's seed), so the batch's
@@ -47,8 +48,9 @@ pub fn run_batch(
 
 /// Like [`run_batch`], additionally returning the scheduler telemetry
 /// ([`tdc_util::obs::PoolTelemetry`]) the underlying pool collected:
-/// per-worker busy/idle time, queue-depth samples, and per-task spans
-/// for the Perfetto pool track. Results are identical to
+/// per-worker busy/idle time with owned-vs-stolen task attribution,
+/// steal attempt/failure counters, source-deque depth samples, and
+/// per-task spans for the Perfetto pool track. Results are identical to
 /// [`run_batch`]'s — the telemetry is a side channel about the
 /// schedule, never an input to any job.
 pub fn run_batch_telemetry(

@@ -25,7 +25,7 @@ use crate::lexer::{scan, ScannedFile};
 use crate::parser::{parse, ParsedFile};
 use crate::rules::{
     bench_schema, design_constants, figure_baselines, graph_schema, line_rules, manifest_schema,
-    obs_schema, probe_coverage, wire_schema, RawFinding, RULES,
+    obs_schema, pool_schema, probe_coverage, wire_schema, RawFinding, RULES,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
@@ -382,6 +382,7 @@ pub fn run(cfg: &Config) -> io::Result<LintReport> {
         raw.extend(wire_schema(&files, &design_text));
         raw.extend(obs_schema(&files, &design_text));
         raw.extend(graph_schema(&files, &design_text));
+        raw.extend(pool_schema(&files, &design_text));
     }
 
     // Pass 2: resolve the workspace call graph and run the graph rule

@@ -23,7 +23,7 @@ pub struct RawFinding {
 }
 
 /// `(id, summary)` for every rule, in report order.
-pub const RULES: [(&str, &str); 15] = [
+pub const RULES: [(&str, &str); 16] = [
     (
         "hash-collections",
         "HashMap/HashSet in library code: iteration order is nondeterministic and can leak into artifacts",
@@ -83,6 +83,10 @@ pub const RULES: [(&str, &str); 15] = [
     (
         "graph-schema",
         "the lint-graph summary documented in DESIGN.md must match lint::graph::GRAPH_FIELDS/GRAPH_VERSION",
+    ),
+    (
+        "pool-schema",
+        "the pool-telemetry schema documented in DESIGN.md must match util::obs::POOL_FIELDS/POOL_VERSION",
     ),
 ];
 
@@ -179,6 +183,13 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              documented at the lint-graph anchor in DESIGN.md §14 and declared in \
              lint::graph::GRAPH_FIELDS/GRAPH_VERSION; both directions and \
              format_version are checked, like every other schema-sync rule."
+        }
+        "pool-schema" => {
+            "The scheduler telemetry each pool batch writes to metrics.json \
+             (DESIGN.md §16 versus util::obs::POOL_FIELDS/POOL_VERSION, anchored \
+             at `pool-telemetry`) is checked both directions, including \
+             format_version drift — steal counters the docs promise must exist \
+             in code, and vice versa."
         }
         _ => return None,
     })
@@ -586,6 +597,15 @@ pub fn graph_schema(files: &BTreeMap<String, ScannedFile>, design_md: &str) -> V
     schema_sync(&GRAPH_SPEC, files, design_md)
 }
 
+/// The work-stealing pool's telemetry batch (the `pool` entries in
+/// `results/metrics.json`) is the sixth two-sources-of-truth schema —
+/// `POOL_FIELDS`/`POOL_VERSION` in `crates/util/src/obs.rs` versus the
+/// DESIGN.md §16 prose — anchored by the first DESIGN.md line
+/// containing `pool-telemetry`.
+pub fn pool_schema(files: &BTreeMap<String, ScannedFile>, design_md: &str) -> Vec<RawFinding> {
+    schema_sync(&POOL_SPEC, files, design_md)
+}
+
 /// One code-constants-versus-DESIGN.md schema pairing checked by
 /// [`schema_sync`].
 struct SchemaSpec {
@@ -672,6 +692,17 @@ const GRAPH_SPEC: SchemaSpec = SchemaSpec {
     code_home: "lint::graph",
     subject: "lint-graph",
     field_noun: "graph summary field",
+};
+
+const POOL_SPEC: SchemaSpec = SchemaSpec {
+    rule: "pool-schema",
+    src: "crates/util/src/obs.rs",
+    fields_const: "POOL_FIELDS",
+    version_const: "POOL_VERSION",
+    anchor: "pool-telemetry",
+    code_home: "util::obs",
+    subject: "pool-telemetry",
+    field_noun: "pool telemetry field",
 };
 
 /// The shared both-directions check: every documented field exists in
@@ -1212,6 +1243,46 @@ mod tests {
             && h.message.contains("GRAPH_VERSION is 2")));
         assert!(hits.iter().any(|h| h.message.contains("`bogus_field`")));
         assert!(hits.iter().any(|h| h.message.contains("`functions`")
+            && h.message.contains("does not document")));
+    }
+
+    fn pool_files(fields: &[&str], version: u64) -> BTreeMap<String, ScannedFile> {
+        let list = fields
+            .iter()
+            .map(|f| format!("\"{f}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let src = format!(
+            "pub const POOL_VERSION: u64 = {version};\n\
+             pub const POOL_FIELDS: [&str; {}] = [{list}];\n",
+            fields.len()
+        );
+        let mut files = BTreeMap::new();
+        files.insert("crates/util/src/obs.rs".to_string(), scan(&src));
+        files
+    }
+
+    #[test]
+    fn pool_schema_passes_when_doc_and_code_agree() {
+        let files = pool_files(&["format_version", "stolen"], 1);
+        let doc = "## Scheduler\n\n\
+                   Each `pool-telemetry` batch (format_version 1) carries\n\
+                   `format_version` and `stolen`.\n\n more prose";
+        assert!(pool_schema(&files, doc).is_empty());
+    }
+
+    #[test]
+    fn pool_schema_flags_both_directions_and_version_drift() {
+        let files = pool_files(&["format_version", "stolen"], 2);
+        let doc = "Each `pool-telemetry` batch (format_version 1) carries\n\
+                   `format_version` and `bogus_field`.\n";
+        let hits = pool_schema(&files, doc);
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        assert!(hits.iter().all(|h| h.rule == "pool-schema" && h.file == "DESIGN.md"));
+        assert!(hits.iter().any(|h| h.message.contains("format_version 1")
+            && h.message.contains("POOL_VERSION is 2")));
+        assert!(hits.iter().any(|h| h.message.contains("`bogus_field`")));
+        assert!(hits.iter().any(|h| h.message.contains("`stolen`")
             && h.message.contains("does not document")));
     }
 

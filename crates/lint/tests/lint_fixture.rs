@@ -27,13 +27,14 @@ fn every_rule_flags_its_seeded_violation() {
         .iter()
         .map(|f| (f.raw.rule, f.raw.file.as_str(), f.raw.line, f.status))
         .collect();
-    let expected: [(&str, &str, usize, Status); 17] = [
+    let expected: [(&str, &str, usize, Status); 18] = [
         ("design-constants", "DESIGN.md", 3, Status::New),
         ("manifest-schema", "DESIGN.md", 6, Status::New),
         ("bench-schema", "DESIGN.md", 10, Status::New),
         ("wire-schema", "DESIGN.md", 15, Status::New),
         ("obs-schema", "DESIGN.md", 19, Status::New),
         ("graph-schema", "DESIGN.md", 27, Status::New),
+        ("pool-schema", "DESIGN.md", 31, Status::New),
         ("hash-collections", "crates/a/src/lib.rs", 4, Status::New),
         ("time-source", "crates/a/src/lib.rs", 7, Status::New),
         ("cast-truncation", "crates/a/src/lib.rs", 8, Status::New),
@@ -47,7 +48,7 @@ fn every_rule_flags_its_seeded_violation() {
         ("probe-coverage", "crates/util/src/probe.rs", 8, Status::New),
     ];
     assert_eq!(hits, expected, "fixture findings drifted");
-    assert_eq!(report.new_count(), 15);
+    assert_eq!(report.new_count(), 16);
     assert!(report.stale.is_empty());
 }
 
@@ -72,6 +73,7 @@ fn fixture_messages_name_the_offender() {
     assert!(msg("obs-schema").contains("missing_event_field"));
     assert!(msg("cast-truncation").contains("end_cycle"));
     assert!(msg("graph-schema").contains("stale_graph_field"));
+    assert!(msg("pool-schema").contains("missing_pool_field"));
     // Graph-rule messages carry the root -> sink witness chain.
     assert!(msg("hot-path-alloc").contains("k_hot::{closure}"));
     assert!(msg("lock-order").contains("alpha -> beta -> alpha"));
@@ -121,9 +123,10 @@ fn lint_json_is_parseable_and_self_consistent() {
 fn regenerated_ratchet_covers_all_non_pragma_findings() {
     let report = lint_fixture();
     let content = report.ratchet_content();
-    // 16 non-pragma findings across 12 (rule, file) groups.
+    // 17 non-pragma findings across 13 (rule, file) groups.
     assert!(content.contains("panic-in-lib crates/a/src/lib.rs 2"));
     assert!(content.contains("graph-schema DESIGN.md 1"));
+    assert!(content.contains("pool-schema DESIGN.md 1"));
     assert!(content.contains("hot-path-alloc crates/harness/src/kernels.rs 1"));
     assert!(content.contains("lock-order crates/serve/src/locks.rs 1"));
     assert!(content.contains("panic-reachability crates/serve/src/server.rs 1"));

@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use tdc_util::http::{read_request, write_response, Request, Response};
 use tdc_util::obs::{EventKind, EventLog, LogHistogram};
-use tdc_util::{run_tasks, Json};
+use tdc_util::{run_tasks_telemetry, Json};
 
 use crate::store::ResultStore;
 use crate::wire;
@@ -68,7 +68,8 @@ pub trait Engine: Send + Sync + 'static {
 /// Daemon tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Worker threads per sweep (feeds [`tdc_util::pool::run_tasks`]).
+    /// Worker threads per sweep (feeds
+    /// [`tdc_util::pool::run_tasks_telemetry`]).
     pub jobs: usize,
     /// Admission-queue capacity: the maximum number of concurrently
     /// admitted work requests (`/sweep`, `/figure`); beyond it the
@@ -125,6 +126,16 @@ struct Metrics {
     epoch: AtomicU64,
     epochs: Mutex<VecDeque<EpochRecord>>,
     latency_us: Mutex<LogHistogram>,
+    // Cumulative scheduler counters over every pooled sweep batch
+    // (DESIGN.md §16); wall-clock observability, `/metrics` only.
+    pool_batches: AtomicU64,
+    pool_tasks: AtomicU64,
+    pool_owned: AtomicU64,
+    pool_stolen: AtomicU64,
+    pool_steal_attempts: AtomicU64,
+    pool_steal_failures: AtomicU64,
+    pool_busy_ns: AtomicU64,
+    pool_idle_ns: AtomicU64,
 }
 
 /// A single in-flight computation for one cache key; followers block
@@ -471,12 +482,23 @@ impl<E: Engine> Server<E> {
                 })
                 .collect(),
         );
+        let pool = Json::obj([
+            ("batches", count(&m.pool_batches)),
+            ("tasks", count(&m.pool_tasks)),
+            ("owned", count(&m.pool_owned)),
+            ("stolen", count(&m.pool_stolen)),
+            ("steal_attempts", count(&m.pool_steal_attempts)),
+            ("steal_failures", count(&m.pool_steal_failures)),
+            ("busy_ns", count(&m.pool_busy_ns)),
+            ("idle_ns", count(&m.pool_idle_ns)),
+        ]);
         let data = Json::obj([
             ("requests", requests),
             ("work", work),
             ("result_cache", result_cache),
             ("store", store),
             ("queue", queue),
+            ("pool", pool),
             ("epochs", epochs),
         ]);
         self.ok("/metrics", data)
@@ -544,7 +566,10 @@ impl<E: Engine> Server<E> {
             // Fast path for the single-cell request mix: no pool spawn.
             keys.iter().map(|k| self.cell(rid, k)).collect::<Vec<_>>()
         } else {
-            run_tasks(keys, self.cfg.jobs, |_, k| self.cell(rid, k))
+            let (results, telemetry) =
+                run_tasks_telemetry(keys, self.cfg.jobs, |_, k| self.cell(rid, k));
+            self.record_pool(&telemetry);
+            results
         };
         let mut cells = Vec::with_capacity(keys.len());
         for (key, result) in keys.iter().zip(results) {
@@ -555,6 +580,24 @@ impl<E: Engine> Server<E> {
             ]));
         }
         Ok(cells)
+    }
+
+    /// Folds one sweep batch's scheduler telemetry (DESIGN.md §16)
+    /// into the cumulative `/metrics` pool counters.
+    fn record_pool(&self, telemetry: &tdc_util::obs::PoolTelemetry) {
+        let m = &self.metrics;
+        m.pool_batches.fetch_add(1, Ordering::Relaxed);
+        for w in &telemetry.workers {
+            m.pool_tasks.fetch_add(w.tasks, Ordering::Relaxed);
+            m.pool_owned.fetch_add(w.owned, Ordering::Relaxed);
+            m.pool_stolen.fetch_add(w.stolen, Ordering::Relaxed);
+            m.pool_steal_attempts
+                .fetch_add(w.steal_attempts, Ordering::Relaxed);
+            m.pool_steal_failures
+                .fetch_add(w.steal_failures, Ordering::Relaxed);
+            m.pool_busy_ns.fetch_add(w.busy_ns, Ordering::Relaxed);
+            m.pool_idle_ns.fetch_add(w.idle_ns, Ordering::Relaxed);
+        }
     }
 
     /// One cell: memory cache, then disk store, then a single-flight

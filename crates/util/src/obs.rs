@@ -16,10 +16,13 @@
 //!   [`crate::probe::Phase`], fed through the [`Probe`] seam's
 //!   `prof_enabled`/`phase_begin`/`phase_end` hooks (which stay
 //!   monomorphized no-ops under [`crate::probe::NoProbe`]).
-//! * [`PoolTelemetry`] — per-worker scheduler counters (tasks run,
-//!   busy/idle ns, queue-depth samples, per-task spans) collected by
+//! * [`PoolTelemetry`] — per-worker scheduler counters (tasks run
+//!   split owned vs stolen, steal attempt/failure counts, busy/idle
+//!   ns, source-deque depth samples, per-task spans) collected by
 //!   [`crate::pool::run_tasks_telemetry`] and rendered as a Perfetto
-//!   track by [`pool_trace_json`].
+//!   track by [`pool_trace_json`]; serialized fields fixed by
+//!   [`POOL_FIELDS`] and lint-pinned to DESIGN.md §16 (`pool-schema`
+//!   rule).
 //! * [`EventLog`] — the span-correlated JSONL event log
 //!   (`results/events.jsonl`): one compact serde-free JSON object per
 //!   line, fields fixed by [`EVENT_FIELDS`] and lint-pinned to
@@ -369,17 +372,46 @@ impl Probe for ProfProbe {
 // Pool telemetry
 // ---------------------------------------------------------------------------
 
+/// Schema version stamped on every serialized pool-telemetry batch.
+pub const POOL_VERSION: u64 = 1;
+
+/// Field names of a serialized pool-telemetry batch (batch level plus
+/// the per-worker objects), in writer order. Lint-pinned to the
+/// DESIGN.md §16 `pool-telemetry` block (`pool-schema` rule).
+pub const POOL_FIELDS: [&str; 11] = [
+    "format_version",
+    "wall_ns",
+    "queue_depth",
+    "workers",
+    "tasks",
+    "busy_ns",
+    "idle_ns",
+    "owned",
+    "stolen",
+    "steal_attempts",
+    "steal_failures",
+];
+
 /// Per-worker counters from one [`crate::pool::run_tasks_telemetry`]
 /// batch.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WorkerTelemetry {
-    /// Tasks this worker completed.
+    /// Tasks this worker completed (`owned + stolen`).
     pub tasks: u64,
-    /// Nanoseconds spent inside task closures.
+    /// Nanoseconds spent inside task closures, clamped to the batch
+    /// wall time so `busy_ns + idle_ns == wall_ns` by construction.
     pub busy_ns: u64,
-    /// Pool wall time minus busy time: time this worker sat idle
-    /// (startup skew, queue exhaustion, straggler tail).
+    /// Pool wall time minus busy time: time this worker sat idle or
+    /// hunting for work (startup skew, steal sweeps, straggler tail).
     pub idle_ns: u64,
+    /// Tasks taken from this worker's own seeded deque.
+    pub owned: u64,
+    /// Tasks stolen from other workers' deques.
+    pub stolen: u64,
+    /// Steal attempts made (successful or not).
+    pub steal_attempts: u64,
+    /// Steal attempts that came back empty or lost a claim race.
+    pub steal_failures: u64,
 }
 
 /// One task's execution window, for the Perfetto pool track.
@@ -393,6 +425,9 @@ pub struct TaskSpan {
     pub start_ns: u64,
     /// Task duration, ns.
     pub dur_ns: u64,
+    /// Whether the task was stolen rather than taken from the running
+    /// worker's own deque.
+    pub stolen: bool,
 }
 
 /// Scheduler telemetry for one worker-pool batch.
@@ -402,17 +437,21 @@ pub struct PoolTelemetry {
     pub workers: Vec<WorkerTelemetry>,
     /// Every task's execution window, sorted by `(start_ns, index)`.
     pub spans: Vec<TaskSpan>,
-    /// Samples of remaining-queue depth taken at each dequeue.
+    /// Samples of the source deque's remaining depth, taken at each
+    /// successful dequeue (the claimed task's owning worker's deque,
+    /// whether the claim was a local take or a steal).
     pub queue_depth: LogHistogram,
     /// Wall time of the whole batch, ns.
     pub wall_ns: u64,
 }
 
 impl PoolTelemetry {
-    /// The `metrics.json` fragment for this batch: wall time, a
-    /// queue-depth histogram summary, and per-worker counters.
+    /// The `metrics.json` fragment for this batch: exactly the
+    /// [`POOL_FIELDS`] keys — wall time, a queue-depth histogram
+    /// summary, and per-worker scheduler counters.
     pub fn metrics_json(&self) -> Json {
         Json::obj([
+            ("format_version", Json::from(POOL_VERSION)),
             ("wall_ns", Json::from(self.wall_ns)),
             ("queue_depth", self.queue_depth.summary_json()),
             (
@@ -422,6 +461,10 @@ impl PoolTelemetry {
                         ("tasks", Json::from(w.tasks)),
                         ("busy_ns", Json::from(w.busy_ns)),
                         ("idle_ns", Json::from(w.idle_ns)),
+                        ("owned", Json::from(w.owned)),
+                        ("stolen", Json::from(w.stolen)),
+                        ("steal_attempts", Json::from(w.steal_attempts)),
+                        ("steal_failures", Json::from(w.steal_failures)),
                     ])
                 })),
             ),
@@ -431,7 +474,9 @@ impl PoolTelemetry {
 
 /// Renders pool batches as a Chrome trace-event document: one process
 /// per batch, one thread per worker, one duration slice per task
-/// (named by the caller-supplied label for that task index).
+/// (named by the caller-supplied label for that task index). Each
+/// slice's `args.stolen` marks whether the task was stolen, so steal
+/// migration reads directly off the track in the Perfetto UI.
 pub fn pool_trace_json(batches: &[(PoolTelemetry, Vec<String>)]) -> Json {
     let mut events = Vec::new();
     for (b, (telemetry, labels)) in batches.iter().enumerate() {
@@ -467,6 +512,7 @@ pub fn pool_trace_json(batches: &[(PoolTelemetry, Vec<String>)]) -> Json {
                 ("tid", Json::from(span.worker as u64 + 1)),
                 ("ts", Json::from(span.start_ns / 1_000)),
                 ("dur", Json::from((span.dur_ns / 1_000).max(1))),
+                ("args", Json::obj([("stolen", Json::from(span.stolen))])),
             ]));
         }
     }
@@ -831,8 +877,8 @@ mod tests {
         let telemetry = PoolTelemetry {
             workers: vec![WorkerTelemetry::default(); 2],
             spans: vec![
-                TaskSpan { worker: 0, index: 0, start_ns: 0, dur_ns: 2_000 },
-                TaskSpan { worker: 1, index: 1, start_ns: 500, dur_ns: 1_000 },
+                TaskSpan { worker: 0, index: 0, start_ns: 0, dur_ns: 2_000, stolen: false },
+                TaskSpan { worker: 1, index: 1, start_ns: 500, dur_ns: 1_000, stolen: true },
             ],
             queue_depth: LogHistogram::new(),
             wall_ns: 2_000,
@@ -844,5 +890,49 @@ mod tests {
         assert!(text.contains("\"fig2/milc\""));
         assert!(text.contains("\"process_name\""));
         assert!(text.contains("\"worker1\""));
+        assert!(text.contains("\"stolen\":true"), "steal attribution missing");
+        assert!(text.contains("\"stolen\":false"));
+    }
+
+    #[test]
+    fn pool_metrics_json_has_exactly_the_documented_fields() {
+        let telemetry = PoolTelemetry {
+            workers: vec![WorkerTelemetry {
+                tasks: 3,
+                busy_ns: 10,
+                idle_ns: 2,
+                owned: 2,
+                stolen: 1,
+                steal_attempts: 4,
+                steal_failures: 3,
+            }],
+            spans: Vec::new(),
+            queue_depth: LogHistogram::new(),
+            wall_ns: 12,
+        };
+        let parsed = Json::parse(&telemetry.metrics_json().to_compact()).expect("parses");
+        assert_eq!(
+            parsed.get("format_version").and_then(Json::as_u64),
+            Some(POOL_VERSION)
+        );
+        // Every documented field appears at the batch or worker level.
+        let worker = match parsed.get("workers") {
+            Some(Json::Arr(ws)) => ws[0].clone(),
+            other => panic!("workers not an array: {other:?}"),
+        };
+        for field in POOL_FIELDS {
+            assert!(
+                parsed.get(field).is_some() || worker.get(field).is_some(),
+                "documented field {field} missing from pool metrics"
+            );
+        }
+        let Json::Obj(worker_pairs) = &worker else {
+            panic!("worker entry is not an object")
+        };
+        // Batch level: format_version, wall_ns, queue_depth, workers.
+        let Json::Obj(batch_pairs) = &parsed else {
+            panic!("batch is not an object")
+        };
+        assert_eq!(batch_pairs.len() + worker_pairs.len(), POOL_FIELDS.len());
     }
 }

@@ -46,6 +46,20 @@ grep -q '"executed": 0' "$out/warm/metrics.json" \
 diff -q "$out/index.json" "$out/warm/index.json" >/dev/null \
     || { echo "warm run diverged from the cold run" >&2; exit 1; }
 
+echo "== smoke: tdc all --jobs 16 (steal path, byte-identical to --jobs 2) =="
+# Oversubscribed on purpose: with more workers than most batches have
+# tasks, every non-trivial batch exercises the work-stealing sweep
+# (DESIGN.md §16). No store, so every cell actually executes.
+./target/release/tdc all --jobs 16 --scale 0.05 --quiet --out "$out/steal"
+for f in "$out/steal"/*.json; do
+    base="$(basename "$f")"
+    [ "$base" = metrics.json ] && continue # wall-clock telemetry, not gated
+    diff -q "$out/$base" "$f" >/dev/null \
+        || { echo "--jobs 16 run diverged from --jobs 2 on $base" >&2; exit 1; }
+done
+grep -q '"steal_attempts"' "$out/steal/metrics.json" \
+    || { echo "--jobs 16 run recorded no scheduler telemetry" >&2; exit 1; }
+
 echo "== smoke: tdc trace (probed run, Perfetto export) =="
 ./target/release/tdc trace mcf/ctlb --scale 0.02 --out "$out"
 test -s "$out/runs/mcf_ctlb.timeseries.json" || { echo "trace wrote no timeseries" >&2; exit 1; }
